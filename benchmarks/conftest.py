@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(tables, figures, or quantified prose claims), writes the rendered output
+under ``benchmarks/results/`` and asserts the *shape* of the paper's
+result (who wins, by what order of magnitude, where the cliff is).  The
+measured numbers are recorded in EXPERIMENTS.md.
+
+Budgets: set ``REPRO_BENCH_BUDGET`` (states) and ``REPRO_BENCH_SECONDS``
+to trade fidelity against runtime; the defaults keep the whole suite at a
+few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def state_budget() -> int:
+    return int(os.environ.get("REPRO_BENCH_BUDGET", "60000"))
+
+
+@pytest.fixture(scope="session")
+def time_budget() -> float:
+    return float(os.environ.get("REPRO_BENCH_SECONDS", "60"))
+
+
+def write_report(results_dir: Path, name: str, text: str) -> None:
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

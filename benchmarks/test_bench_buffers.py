@@ -1,0 +1,111 @@
+"""Experiment: buffering requirements (paper sections 2.5, 3.2).
+
+Claims reproduced:
+
+* "If we were to guarantee progress only for some remote node, a buffer
+  that can hold 2 messages suffices" — k = 2 passes the weak-fairness
+  progress check at every node count we can verify exhaustively;
+* "If no such reservation is made, a livelock can result" — switching the
+  progress-buffer reservation off produces a model-checkable livelock
+  (a terminal SCC with no completed rendezvous), demonstrated on the
+  unfused refinement where the critical completion goes through the
+  buffer;
+* larger k buys fewer nacks but is never needed for progress.
+"""
+
+from __future__ import annotations
+
+from conftest import write_report
+
+from repro.check.properties import check_progress
+from repro.protocols.migratory import migratory_protocol
+from repro.refine.engine import refine
+from repro.refine.plan import RefinementConfig
+from repro.semantics.asynchronous import AsyncSystem
+from repro.sim.engine import Simulator
+from repro.sim.workload import HotLineWorkload
+
+
+def test_k2_suffices_for_progress(benchmark, results_dir):
+    protocol = migratory_protocol()
+    lines = ["Progress with the minimal k=2 buffer "
+             "(weak fairness, paper section 2.5):", ""]
+    for n in (2, 3, 4):
+        refined = refine(protocol, RefinementConfig(home_buffer_capacity=2))
+        report = check_progress(AsyncSystem(refined, n))
+        lines.append(f"  n={n}: {report.describe()}")
+        assert report.ok
+    write_report(results_dir, "buffers_k2_progress.txt", "\n".join(lines))
+    refined = refine(protocol)
+    benchmark.pedantic(lambda: check_progress(AsyncSystem(refined, 3)),
+                       iterations=1, rounds=2)
+
+
+def test_progress_buffer_ablation_produces_livelock(benchmark, results_dir):
+    """The paper's section 3.2 livelock, machine-found."""
+    protocol = migratory_protocol()
+    with_reservation = refine(protocol, RefinementConfig(use_reqreply=False))
+    without = refine(protocol, RefinementConfig(
+        use_reqreply=False, reserve_progress_buffer=False))
+
+    ok_report = check_progress(AsyncSystem(with_reservation, 4))
+    bad_report = check_progress(AsyncSystem(without, 4))
+
+    lines = [
+        "Progress-buffer reservation ablation (unfused migratory, n=4):",
+        "",
+        f"  reservation ON : {ok_report.describe()}",
+        f"  reservation OFF: {bad_report.describe()}",
+    ]
+    if bad_report.livelocks:
+        size, state = bad_report.livelocks[0]
+        lines.append("")
+        lines.append(f"  sample livelocked state (SCC of {size}): "
+                     f"{state.describe()}")
+    write_report(results_dir, "buffers_progress_ablation.txt",
+                 "\n".join(lines))
+
+    assert ok_report.ok
+    assert not bad_report.ok and bad_report.livelocks
+
+    benchmark.pedantic(lambda: check_progress(AsyncSystem(without, 3)),
+                       iterations=1, rounds=2)
+
+
+def test_larger_buffers_cut_nacks(benchmark, results_dir):
+    """k sweep under contention: nacks fall as the buffer grows, and with
+    reservations off and k = n the home never nacks (paper section 6)."""
+    protocol = migratory_protocol()
+    n = 6
+    lines = [f"Nack rate vs home buffer capacity ({n} nodes, hot line):",
+             "", f"{'k':>3} {'reservations':>13} {'messages':>9} "
+             f"{'nacks':>7} {'nack%':>7}"]
+    rates = {}
+    for k, reserve in [(2, True), (3, True), (4, True), (6, True),
+                       (6, False), (8, False)]:
+        config = RefinementConfig(
+            home_buffer_capacity=k,
+            reserve_progress_buffer=reserve,
+            reserve_ack_buffer=reserve)
+        refined = refine(protocol, config)
+        metrics = Simulator(refined, n, HotLineWorkload(seed=77),
+                            seed=77).run(until=30_000)
+        nacks = metrics.messages_by_kind.get("NACK", 0)
+        rates[(k, reserve)] = (nacks, metrics)
+        lines.append(f"{k:>3} {('on' if reserve else 'off'):>13} "
+                     f"{metrics.total_messages:>9} {nacks:>7} "
+                     f"{metrics.nack_rate:>7.1%}")
+    write_report(results_dir, "buffers_nack_sweep.txt", "\n".join(lines))
+
+    # more buffer, (weakly) fewer nacks — with reservations on
+    assert rates[(6, True)][0] <= rates[(2, True)][0]
+    # section 6: with k = n (every remote has at most one outstanding
+    # request) and no reservations, the home never generates a nack
+    assert rates[(6, False)][0] == 0
+    assert rates[(8, False)][0] == 0
+
+    refined = refine(protocol)
+    benchmark.pedantic(
+        lambda: Simulator(refined, n, HotLineWorkload(seed=1),
+                          seed=1).run(until=5000),
+        iterations=1, rounds=1)

@@ -1,0 +1,122 @@
+"""Experiment: regenerate the paper's protocol figures (1-5).
+
+Figures 2/3 are the migratory rendezvous machines; Figures 4/5 their
+refined forms.  This benchmark writes DOT and plain-text renderings under
+``benchmarks/results/figures/`` and asserts the structural facts the
+figures depict: state sets, the fused req/gr and inv/ID short-cuts, the
+acked LR, the implicit-nack return edge, and the transient-state ignore
+loops.  Figure 1 (example communication-state shapes) is regenerated from
+three micro-processes built with the public API.
+"""
+
+from __future__ import annotations
+
+from conftest import write_report
+
+from repro.csp.ast import AnySender, VarSender, VarTarget
+from repro.csp.builder import ProcessBuilder, inp, out, tau
+from repro.protocols.handwritten import handwritten_migratory
+from repro.protocols.migratory import migratory_protocol
+from repro.refine.engine import refine
+from repro.viz.ascii import process_ascii, refined_ascii
+from repro.viz.dot import process_dot, refined_dot
+
+
+def test_figures_2_through_5(benchmark, results_dir):
+    figdir = results_dir / "figures"
+    figdir.mkdir(exist_ok=True)
+    protocol = migratory_protocol()
+    refined = benchmark(lambda: refine(protocol))
+
+    artifacts = {
+        "figure2_home.dot": process_dot(protocol.home, title="Figure 2"),
+        "figure3_remote.dot": process_dot(protocol.remote, title="Figure 3"),
+        "figure4_refined_home.dot": refined_dot(refined, "home",
+                                                title="Figure 4"),
+        "figure5_refined_remote.dot": refined_dot(refined, "remote",
+                                                  title="Figure 5"),
+        "figure2_home.txt": process_ascii(protocol.home),
+        "figure3_remote.txt": process_ascii(protocol.remote),
+        "figure4_refined_home.txt": refined_ascii(refined, "home"),
+        "figure5_refined_remote.txt": refined_ascii(refined, "remote"),
+    }
+    for name, text in artifacts.items():
+        (figdir / name).write_text(text + "\n")
+
+    # Figure 2: home states and key edges
+    fig2 = artifacts["figure2_home.dot"]
+    for state in ("F", "F1", "E", "I1", "I2", "I3"):
+        assert f'"{state}"' in fig2
+    assert 'label="r(i)?req"' in fig2 and 'label="r(o)!inv"' in fig2
+
+    # Figure 3: remote states, evict tau, inv input
+    fig3 = artifacts["figure3_remote.dot"]
+    for state in ("I", "I.gr", "V", "V.lr", "V.id"):
+        assert f'"{state}"' in fig3
+    assert "τ:evict" in fig3
+
+    # Figure 4: refined home — fused inv transient with the LR race and
+    # implicit nack; gr sent as an un-acked reply
+    fig4 = artifacts["figure4_refined_home.dot"]
+    assert "I1·inv" in fig4
+    assert "[nack]" in fig4
+    assert "r(x)??msg/nack" in fig4
+    assert "!!gr (reply)" in fig4
+    assert '"I1·inv" -> "I3"' in fig4  # ??ID lands past I2
+
+    # Figure 5: refined remote — req/gr fused wait, LR acked, transient
+    # self-loop ignoring home requests
+    fig5 = artifacts["figure5_refined_remote.dot"]
+    assert "I·req" in fig5
+    assert "h??*" in fig5
+    assert "??gr" in fig5
+    assert "??ack" in fig5  # the LR transient still awaits a real ack
+
+    write_report(results_dir, "figures_index.txt",
+                 "Regenerated figures:\n  " + "\n  ".join(sorted(artifacts)))
+
+
+def test_figure_4_5_dotted_difference(benchmark, results_dir):
+    """The paper: the hand design makes the dotted LR-ack edges vanish."""
+    refined = refine(migratory_protocol())
+    hand = handwritten_migratory()
+    refined_txt = refined_ascii(refined, "remote")
+    hand_txt = refined_ascii(hand, "remote")
+    (results_dir / "figures").mkdir(exist_ok=True)
+    (results_dir / "figures" / "figure5_hand_remote.txt").write_text(
+        hand_txt + "\n")
+
+    assert "V.lr·LR" in refined_txt      # refined: LR waits for its ack
+    assert "!!LR (no ack)" in hand_txt   # hand: fire-and-forget
+    assert "V.lr·LR" not in hand_txt
+    benchmark(lambda: refined_ascii(hand, "remote"))
+
+
+def test_figure_1_guard_shapes(benchmark, results_dir):
+    """Figure 1: (a) home with generalized guards, (b) remote active,
+    (c) remote passive with an autonomous decision."""
+    home = ProcessBuilder.home("fig1a", i=0, j=0)
+    home.state("s",
+               inp("m1", sender=AnySender(), bind_sender="i", to="s"),
+               out("m2", target=VarTarget("i"), to="s"),
+               inp("m3", sender=VarSender("j"), to="s"))
+    fig_a = process_ascii(home.build())
+
+    active = ProcessBuilder.remote("fig1b")
+    active.state("s", out("m", to="s"))
+    fig_b = process_ascii(active.build())
+
+    passive = ProcessBuilder.remote("fig1c")
+    passive.state("s", inp("m1", to="s"), inp("m2", to="s"),
+                  tau("τ", to="s2"))
+    passive.state("s2", out("m3", to="s"))
+    fig_c = benchmark(lambda: process_ascii(passive.build()))
+
+    text = "\n\n".join(["(a) home node:", fig_a, "(b) remote node (active):",
+                        fig_b, "(c) remote node (passive):", fig_c])
+    (results_dir / "figures").mkdir(exist_ok=True)
+    (results_dir / "figures" / "figure1_shapes.txt").write_text(text + "\n")
+
+    assert "r(i)?m1" in fig_a and "r(i)!m2" in fig_a and "r(j)?m3" in fig_a
+    assert "h!m" in fig_b
+    assert "h?m1" in fig_c and "τ" in fig_c

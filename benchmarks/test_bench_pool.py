@@ -1,0 +1,68 @@
+"""Experiment: shared-buffer-pool sizing across many lines (paper section 6).
+
+"in a multiprocessor with 64 nodes, if each node of the multiprocessor
+acts as home for 1024 lines (a modest number of lines), the node needs to
+reserve a total of 64K messages to be used as buffer space.  Clearly, it
+is impractical to reserve such a large amount of space for buffer. ...
+If the home node were to reserve a buffer that can handle 513 messages ...
+and the buffer pool is managed as a resource shared by all the 1024 shared
+lines, forward progress can be assured per each shared line per each
+remote node."
+
+We measure the statistical-multiplexing fact the shared pool banks on: the
+*instantaneous aggregate* buffer demand across many concurrently-simulated
+lines is far below per-line worst-case provisioning, and the gap widens
+with the number of lines.
+"""
+
+from __future__ import annotations
+
+from conftest import write_report
+
+from repro.protocols.migratory import migratory_protocol
+from repro.refine.engine import refine
+from repro.sim.pool import simulate_pool
+from repro.sim.workload import SyntheticWorkload
+
+N_REMOTES = 8
+HORIZON = 6_000.0
+
+
+def make_workload(line: int):
+    return SyntheticWorkload(seed=900 + line, think_time=150.0,
+                             hold_time=40.0, write_fraction=1.0)
+
+
+def test_pool_multiplexing(benchmark, results_dir):
+    refined = refine(migratory_protocol())
+    lines_counts = (8, 24, 72)
+    rows = []
+    text = [f"Shared buffer pool demand ({N_REMOTES} remotes per line, "
+            f"horizon {HORIZON:.0f}):", "",
+            f"{'lines':>6} {'naive (n*k)':>12} {'peak':>6} {'mean':>7} "
+            f"{'pool saving':>12}"]
+    for n_lines in lines_counts:
+        report = simulate_pool(refined, N_REMOTES, n_lines, make_workload,
+                               until=HORIZON, seed=1)
+        rows.append(report)
+        text.append(f"{n_lines:>6} {report.naive_capacity:>12} "
+                    f"{report.peak_demand:>6} {report.mean_demand:>7.2f} "
+                    f"{report.multiplexing_ratio:>11.1f}x")
+    text += [
+        "",
+        "Paper's sizing example: 64 nodes x 8 outstanding + 1 = 513 slots",
+        "shared by 1024 lines, vs 65536 slots provisioned per-line (128x).",
+    ]
+    write_report(results_dir, "pool_multiplexing.txt", "\n".join(text))
+
+    # multiplexing must be substantial and must widen with the line count
+    assert rows[-1].multiplexing_ratio > 2.0
+    assert rows[-1].multiplexing_ratio > rows[0].multiplexing_ratio
+    # aggregate peak grows sublinearly: 16x more lines, far less than 16x
+    # more demand
+    assert rows[-1].peak_demand < 6 * max(1, rows[0].peak_demand)
+
+    benchmark.pedantic(
+        lambda: simulate_pool(refined, N_REMOTES, 8, make_workload,
+                              until=2_000.0, seed=2),
+        iterations=1, rounds=1)

@@ -1,0 +1,93 @@
+"""Experiment: paper section 5 scaling claim.
+
+"In fact, the rendezvous migratory protocol could be model checked for up
+to 64 nodes using 32MB of memory, while the asynchronous protocol can be
+model checked for only two nodes using 64MB of memory."
+
+We sweep the node count for the rendezvous migratory protocol up to 64 and
+record states/time/approximate memory, asserting completion at 64 nodes
+within a small fraction of the budget that the asynchronous protocol
+exhausts by 6 nodes.  A second sweep shows the modelling pitfall the
+library documents: making the CPU intent an explicit per-remote tau
+(`explicit_rw=True`) turns the same protocol exponential and kills the
+64-node result.
+"""
+
+from __future__ import annotations
+
+from conftest import write_report
+
+from repro.check.explorer import explore
+from repro.protocols.migratory import migratory_protocol
+from repro.refine.engine import refine
+from repro.semantics.asynchronous import AsyncSystem
+from repro.semantics.rendezvous import RendezvousSystem
+
+
+def test_rendezvous_scales_to_64_nodes(benchmark, results_dir, state_budget):
+    protocol = migratory_protocol()
+    lines = ["Rendezvous migratory scaling (paper section 5: checkable to "
+             "64 nodes)", "",
+             f"{'N':>4} {'states':>10} {'transitions':>12} {'seconds':>8} "
+             f"{'~MB':>6}"]
+    results = {}
+    for n in (2, 4, 8, 16, 32, 64):
+        result = explore(RendezvousSystem(protocol, n),
+                         name=f"rv-migratory-{n}")
+        results[n] = result
+        lines.append(f"{n:>4} {result.n_states:>10} "
+                     f"{result.n_transitions:>12} {result.seconds:>8.2f} "
+                     f"{result.approx_bytes / 1e6:>6.1f}")
+    write_report(results_dir, "scaling_rendezvous.txt", "\n".join(lines))
+
+    assert results[64].completed
+    # growth must be polynomial: quadrupling from 16 to 64 nodes must not
+    # square the state count
+    assert results[64].n_states < results[16].n_states ** 2 / 4
+    # timing anchor for pytest-benchmark
+    final = benchmark.pedantic(
+        lambda: explore(RendezvousSystem(protocol, 64)),
+        iterations=1, rounds=1)
+    assert final.completed
+
+
+def test_async_dies_within_a_few_nodes(benchmark, results_dir,
+                                       state_budget, time_budget):
+    refined = refine(migratory_protocol())
+    lines = ["Asynchronous migratory scaling (budget "
+             f"{state_budget} states):", "",
+             f"{'N':>4} {'result':>14}"]
+    first_unfinished = None
+    for n in (2, 3, 4, 5, 6):
+        result = explore(AsyncSystem(refined, n), max_states=state_budget,
+                         max_seconds=time_budget,
+                         name=f"async-migratory-{n}")
+        lines.append(f"{n:>4} {result.cell():>14}")
+        if not result.completed and first_unfinished is None:
+            first_unfinished = n
+            break
+    write_report(results_dir, "scaling_async.txt", "\n".join(lines))
+    assert first_unfinished is not None and first_unfinished <= 6
+
+    small = benchmark(lambda: explore(AsyncSystem(refined, 2)))
+    assert small.completed
+
+
+def test_explicit_intent_modelling_pitfall(benchmark, results_dir):
+    """The 2^n trap: per-remote intent bits destroy the scaling result."""
+    fused = migratory_protocol()
+    explicit = migratory_protocol(explicit_rw=True)
+    lines = ["Modelling pitfall: explicit per-remote CPU-intent tau",
+             "", f"{'N':>4} {'fused-intent':>14} {'explicit-rw':>14}"]
+    ratios = []
+    for n in (2, 4, 8):
+        a = explore(RendezvousSystem(fused, n))
+        b = explore(RendezvousSystem(explicit, n))
+        ratios.append(b.n_states / a.n_states)
+        lines.append(f"{n:>4} {a.n_states:>14} {b.n_states:>14}")
+    write_report(results_dir, "scaling_pitfall.txt", "\n".join(lines))
+    # the gap must widen drastically with n (exponential vs polynomial)
+    assert ratios[-1] > 4 * ratios[0]
+
+    benchmark.pedantic(lambda: explore(RendezvousSystem(explicit, 8)),
+                       iterations=1, rounds=1)

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Designing a *new* protocol with the library: a DSM mailbox line.
+
+This example plays the role of the protocol designer the paper addresses:
+instead of hand-crafting an asynchronous protocol with transient states, we
+write the atomic-transaction (rendezvous) view of a small coordination
+protocol, let the model checker vet it, and let the refinement engine
+produce the asynchronous version.
+
+The protocol: one memory line acts as a single-slot **mailbox**.  Each node
+repeatedly deposits a value (``put``) and then withdraws one (``get``); the
+home serializes deposits (a full mailbox accepts no ``put``) and hands the
+stored value to the next ``get``.  Deadlock-freedom is a nice token-counting
+argument — and the model checker confirms it mechanically.  The engine
+auto-detects that ``get``/``val`` is a request/reply pair (2 messages) while
+``put`` keeps its explicit ack (a full mailbox must be able to *refuse*).
+
+Run:  python examples/custom_protocol.py
+"""
+
+from repro import (
+    AsyncSystem,
+    ProcessBuilder,
+    RendezvousSystem,
+    assert_safe,
+    check_progress,
+    check_simulation,
+    explore,
+    inp,
+    out,
+    protocol,
+    refine,
+    tau,
+    validate_protocol,
+)
+from repro.csp.ast import AnySender, VarTarget
+from repro.sim import AccessClass, Simulator, SyntheticWorkload, WorkloadSpec
+from repro.viz import protocol_summary, refined_ascii
+
+
+def mailbox_protocol(values: int = 3):
+    """Single-slot mailbox: put blocks when full, get blocks when empty."""
+    home = ProcessBuilder.home("mailbox-home", mem=0, j=None)
+    home.state(
+        "Empty",
+        inp("put", sender=AnySender(), bind_value="mem", to="Full"),
+    )
+    home.state(
+        "Full",
+        inp("get", sender=AnySender(), bind_sender="j", to="Full.reply"),
+    )
+    home.state(
+        "Full.reply",
+        out("val", target=VarTarget("j"), payload=lambda env: env["mem"],
+            update=lambda env: env.set("j", None), to="Empty"),
+    )
+
+    remote = ProcessBuilder.remote("mailbox-remote", c=0, d=0)
+    remote.state("Idle", tau("work", to="P"))
+    remote.state(
+        "P",
+        out("put", payload=lambda env: env["c"],
+            update=lambda env: env.set("c", (env["c"] + 1) % values),
+            to="G"),
+    )
+    remote.state("G", out("get", to="G.val"))
+    remote.state("G.val", inp("val", bind_value="d", to="Idle"))
+
+    return validate_protocol(protocol("mailbox", home, remote))
+
+
+MAILBOX_WORKLOAD = WorkloadSpec(
+    name="mailbox",
+    gates={("Idle", "tau", "work"): AccessClass.ACQUIRE},
+    acquire_complete_msgs=frozenset({"val"}),
+)
+
+
+def main() -> None:
+    proto = mailbox_protocol()
+
+    # 1. cheap rendezvous-level verification, incl. the token-counting
+    #    deadlock-freedom argument — checked exhaustively instead of argued
+    def mailbox_not_overwritten(state) -> bool:
+        # Full only transitions via get: a put can never clobber mem.
+        # (Structural, but let's keep the checker honest with a real
+        # cross-process invariant: nobody holds a value that was never
+        # deposited.)
+        return all(r.env["d"] in (0, 1, 2) for r in state.remotes)
+
+    for n in (2, 3, 4):
+        result = explore(RendezvousSystem(proto, n),
+                         invariants=[("values-in-domain",
+                                      mailbox_not_overwritten)])
+        assert_safe(result)
+        print(f"rendezvous n={n}: {result.describe()}")
+    print(check_progress(RendezvousSystem(proto, 3)).describe())
+
+    # 2. refinement: the engine finds the get/val fusion on its own
+    refined = refine(proto)
+    print(f"\n{protocol_summary(refined)}")
+    assert {(p.request_msg, p.reply_msg) for p in refined.plan.fused} == \
+        {("get", "val")}
+    print("\n" + refined_ascii(refined, "remote"))
+
+    # 3. soundness, machine-checked
+    print("\n" + check_simulation(AsyncSystem(refined, 2))
+          .describe().splitlines()[0])
+
+    # 4. run it: every deposited value is eventually withdrawn
+    sim = Simulator(refined, 6, SyntheticWorkload(seed=3, think_time=40.0),
+                    spec=MAILBOX_WORKLOAD, seed=3)
+    metrics = sim.run(until=40_000)
+    print("\nsimulation (6 nodes):")
+    print(metrics.describe())
+    puts = metrics.completions_by_type["put"]
+    vals = metrics.completions_by_type["val"]
+    print(f"\ndeposits: {puts}, withdrawals: {vals} "
+          f"(difference <= 1 — the slot itself)")
+    assert abs(puts - vals) <= 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Domain study: which coherence protocol fits which sharing pattern?
+
+The paper's motivating DSM systems (Avalanche, DASH, FLASH) shipped several
+protocols because no single one wins everywhere.  This example uses the
+library's simulator to quantify the folklore on a 12-node machine:
+
+* **migratory** — the whole line moves to each accessor.  Great when data
+  is written by whoever touches it (its namesake pattern); wasteful when
+  many nodes only read.
+* **invalidate** — read copies proliferate, writes invalidate them.  Great
+  for read-mostly sharing; pays an invalidation burst per write.
+* **msi (with upgrade)** — adds the upgrade transaction, sparing a sharer
+  the evict-and-refetch round trip when it decides to write.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro import invalidate_protocol, migratory_protocol, msi_protocol, refine
+from repro.sim import Simulator, SyntheticWorkload
+
+NODES = 12
+HORIZON = 60_000.0
+
+PROTOCOLS = {
+    "migratory": (migratory_protocol, {}),
+    "invalidate": (invalidate_protocol, {}),
+    "msi+upgrade": (msi_protocol, {}),
+}
+
+PATTERNS = {
+    # read_fraction is 1 - write_fraction
+    "read-mostly (90% reads)": dict(write_fraction=0.1, think_time=40.0,
+                                    hold_time=60.0),
+    "mixed (50/50)": dict(write_fraction=0.5, think_time=40.0,
+                          hold_time=30.0),
+    "write-heavy (90% writes)": dict(write_fraction=0.9, think_time=40.0,
+                                     hold_time=15.0),
+}
+
+
+def run(build, pattern_kwargs, seed=11):
+    refined = refine(build())
+    workload = SyntheticWorkload(seed=seed, upgrade_fraction=0.7,
+                                 **pattern_kwargs)
+    sim = Simulator(refined, NODES, workload, seed=seed)
+    return sim.run(until=HORIZON)
+
+
+def main() -> None:
+    print(f"{NODES}-node DSM, horizon {HORIZON:.0f} time units\n")
+    header = (f"{'pattern':<26} {'protocol':<12} {'acquires':>9} "
+              f"{'msg/rdv':>8} {'p50 lat':>8} {'p99 lat':>8} {'nack%':>7}")
+    print(header)
+    print("-" * len(header))
+    table = {}
+    for pattern, kwargs in PATTERNS.items():
+        for name, (build, _opts) in PROTOCOLS.items():
+            metrics = run(build, kwargs)
+            acquires = len(metrics.acquire_latencies)
+            pct = metrics.latency_percentiles((50, 99)) or {50: 0, 99: 0}
+            table[(pattern, name)] = (acquires, metrics)
+            print(f"{pattern:<26} {name:<12} {acquires:>9} "
+                  f"{metrics.messages_per_rendezvous:>8.2f} "
+                  f"{pct[50]:>8.1f} {pct[99]:>8.1f} "
+                  f"{metrics.nack_rate:>7.1%}")
+        print()
+
+    # the folklore, checked
+    read_mig = table[("read-mostly (90% reads)", "migratory")][0]
+    read_inv = table[("read-mostly (90% reads)", "invalidate")][0]
+    print(f"read-mostly: invalidate served {read_inv} acquires vs "
+          f"migratory's {read_mig} "
+          f"({read_inv / max(read_mig, 1):.1f}x) — read copies are shared "
+          "instead of bounced.")
+
+    up_counts = table[("mixed (50/50)", "msi+upgrade")][1].completions_by_type
+    granted = up_counts.get("grU", 0)
+    denied = up_counts.get("upfail", 0)
+    print(f"msi upgrade transactions: granted={granted}, denied={denied} — "
+          "under this much write contention an upgrading sharer usually "
+          "loses the race to a competing writer (the home is already "
+          "invalidating on the writer's behalf), so the upgrade mostly "
+          "converts to a denial plus an ordinary refetch. Upgrades pay off "
+          "in read-mostly mixes with occasional writers.")
+
+
+if __name__ == "__main__":
+    main()

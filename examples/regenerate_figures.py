@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figures 1-5 as DOT and plain-text files.
+
+Writes into ``examples/output/figures/``:
+
+* Figure 1 — example communication-state shapes (home, remote active,
+  remote passive with an autonomous decision);
+* Figures 2/3 — the migratory rendezvous machines;
+* Figures 4/5 — the refined asynchronous machines, transient states dotted,
+  with both request/reply fusions and the implicit-nack edges;
+* the hand-designed variant of Figure 5 (the "dotted lines are actions"
+  difference the paper describes in section 5).
+
+Render the ``.dot`` files with Graphviz if available:
+``dot -Tpng figure4_refined_home.dot -o figure4.png``.
+
+Run:  python examples/regenerate_figures.py
+"""
+
+from pathlib import Path
+
+from repro import ProcessBuilder, inp, migratory_protocol, out, refine, tau
+from repro.csp.ast import AnySender, VarSender, VarTarget
+from repro.protocols.handwritten import handwritten_migratory
+from repro.viz import process_ascii, process_dot, refined_ascii, refined_dot
+
+OUT = Path(__file__).parent / "output" / "figures"
+
+
+def figure1() -> dict[str, str]:
+    home = ProcessBuilder.home("fig1a-home", i=0, j=0)
+    home.state("s",
+               inp("m1", sender=AnySender(), bind_sender="i", to="s"),
+               out("m2", target=VarTarget("i"), to="s"),
+               inp("m3", sender=VarSender("j"), to="s"))
+    active = ProcessBuilder.remote("fig1b-remote")
+    active.state("s", out("m", to="s"))
+    passive = ProcessBuilder.remote("fig1c-remote")
+    passive.state("s", inp("m1", to="s"), inp("m2", to="s2"),
+                  tau("τ", to="s2"))
+    passive.state("s2", out("m3", to="s"))
+    return {
+        "figure1a_home.txt": process_ascii(home.build()),
+        "figure1b_remote_active.txt": process_ascii(active.build()),
+        "figure1c_remote_passive.txt": process_ascii(passive.build()),
+    }
+
+
+def main() -> None:
+    OUT.mkdir(parents=True, exist_ok=True)
+    protocol = migratory_protocol()
+    refined = refine(protocol)
+    hand = handwritten_migratory()
+
+    artifacts = figure1()
+    artifacts.update({
+        "figure2_home.dot": process_dot(protocol.home,
+                                        title="Figure 2: migratory home"),
+        "figure2_home.txt": process_ascii(protocol.home),
+        "figure3_remote.dot": process_dot(protocol.remote,
+                                          title="Figure 3: migratory remote"),
+        "figure3_remote.txt": process_ascii(protocol.remote),
+        "figure4_refined_home.dot": refined_dot(
+            refined, "home", title="Figure 4: refined migratory home"),
+        "figure4_refined_home.txt": refined_ascii(refined, "home"),
+        "figure5_refined_remote.dot": refined_dot(
+            refined, "remote", title="Figure 5: refined migratory remote"),
+        "figure5_refined_remote.txt": refined_ascii(refined, "remote"),
+        "figure5_hand_remote.txt": refined_ascii(hand, "remote"),
+        "figure4_hand_home.txt": refined_ascii(hand, "home"),
+    })
+
+    for name, text in sorted(artifacts.items()):
+        path = OUT / name
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
+
+    print("\nPreview — Figure 5 (refined migratory remote):\n")
+    print(artifacts["figure5_refined_remote.txt"])
+
+
+if __name__ == "__main__":
+    main()

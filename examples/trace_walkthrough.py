@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Message-by-message walkthrough of the refined migratory protocol.
+
+Renders message-sequence charts (the protocol engineer's view) of three
+scripted scenarios on the refined migratory protocol:
+
+1. an uncontended acquire — the fused req/gr pair, 2 messages total;
+2. a migration — the home revokes the line via the fused inv/ID pair and
+   re-grants it, 4 messages for the whole ownership transfer;
+3. the eviction race — the owner's LR crosses the home's inv on the wire;
+   the implicit-nack rule (paper row T3) resolves it with no extra
+   round-trips.
+
+Run:  python examples/trace_walkthrough.py
+"""
+
+from repro import migratory_protocol, refine
+from repro.sim import AccessClass, Simulator, TraceWorkload
+from repro.viz import render_msc
+
+
+def run_scenario(title, entries, n_remotes=2, until=600.0):
+    refined = refine(migratory_protocol())
+    sim = Simulator(refined, n_remotes, TraceWorkload(entries), seed=0,
+                    latency=5.0, latency_jitter=0.0, record_trace=True)
+    metrics = sim.run(until=until)
+    print(f"\n=== {title} ===")
+    print(render_msc(sim.trace, n_remotes))
+    print(f"[{metrics.total_messages} messages, "
+          f"{metrics.total_completions} rendezvous]")
+    return metrics
+
+
+def main() -> None:
+    # 1. uncontended acquire: exactly REQ + REPL
+    metrics = run_scenario(
+        "uncontended acquire (fused req/gr: 2 messages)",
+        [(10.0, 0, AccessClass.ACQUIRE)])
+    assert metrics.total_messages == 2
+
+    # 2. migration: r0 holds, r1 asks, home revokes and re-grants
+    run_scenario(
+        "migration r0 -> r1 (fused inv/ID revocation)",
+        [(10.0, 0, AccessClass.ACQUIRE),
+         (60.0, 1, AccessClass.ACQUIRE)])
+
+    # 3. the race the transient states exist for: r0 evicts just as the
+    # home tries to invalidate it.  The LR and the inv cross on the wire;
+    # r0 (transient, waiting for the LR ack) drops the inv, and the home
+    # treats r0's LR as an implicit nack of its own request (row T3).
+    run_scenario(
+        "eviction race: LR crosses inv (implicit nack, row T3)",
+        [(10.0, 0, AccessClass.ACQUIRE),
+         (100.0, 1, AccessClass.ACQUIRE),
+         (100.0, 0, AccessClass.EVICT)])
+
+    print("\nNote how scenario 3 never exchanges a nack message: the "
+          "crossing request itself carries the information (the paper's "
+          "implicit-nack rule), which is where the refined protocol's "
+          "efficiency comes from.")
+
+
+if __name__ == "__main__":
+    main()

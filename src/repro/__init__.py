@@ -1,0 +1,102 @@
+"""repro — reproduction of *Deriving Efficient Cache Coherence Protocols
+through Refinement* (Nalumasu & Gopalakrishnan, IPPS 1998 / UUCS-97-009).
+
+Quickstart::
+
+    from repro import migratory_protocol, refine, RendezvousSystem, AsyncSystem
+    from repro import explore, check_progress, check_simulation
+
+    protocol = migratory_protocol()                 # Figures 2-3
+    refined = refine(protocol)                      # Tables 1-2 + section 3.3
+    print(explore(RendezvousSystem(protocol, 4)).describe())
+    print(explore(AsyncSystem(refined, 2)).describe())
+    print(check_simulation(AsyncSystem(refined, 2)).describe())  # Equation 1
+
+Layering (bottom up): :mod:`repro.csp` (specification language),
+:mod:`repro.semantics` (rendezvous and asynchronous operational semantics),
+:mod:`repro.refine` (the refinement procedure and its soundness witness),
+:mod:`repro.check` (explicit-state model checking), :mod:`repro.protocols`
+(the protocol library), :mod:`repro.sim` (discrete-event DSM simulator),
+:mod:`repro.viz` (state-machine rendering).
+"""
+
+from .csp.ast import DATA, HOME, Protocol
+from .csp.builder import ProcessBuilder, inp, out, protocol, tau
+from .csp.env import Env
+from .csp.validate import validate_protocol
+from .check.explorer import explore
+from .check.properties import assert_safe, check_progress
+from .check.simulation import check_simulation
+from .errors import (
+    BudgetExceeded,
+    CheckError,
+    PropertyViolation,
+    RefinementError,
+    ReproError,
+    SemanticsError,
+    SpecError,
+    ValidationError,
+)
+from .refine.abstraction import abstract_state
+from .refine.engine import refine
+from .refine.plan import FusedPair, RefinedProtocol, RefinementConfig
+from .protocols.handwritten import handwritten_migratory
+from .protocols.invalidate import invalidate_protocol
+from .protocols.invariants import (
+    INVALIDATE_SPEC,
+    MESI_SPEC,
+    MIGRATORY_SPEC,
+    MSI_SPEC,
+    async_structural_invariants,
+    coherence_invariants,
+)
+from .protocols.mesi import mesi_protocol
+from .protocols.migratory import migratory_protocol
+from .protocols.msi import msi_protocol
+from .semantics.asynchronous import AsyncSystem
+from .semantics.rendezvous import RendezvousSystem
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AsyncSystem",
+    "BudgetExceeded",
+    "CheckError",
+    "DATA",
+    "Env",
+    "FusedPair",
+    "HOME",
+    "INVALIDATE_SPEC",
+    "MIGRATORY_SPEC",
+    "MESI_SPEC",
+    "MSI_SPEC",
+    "ProcessBuilder",
+    "PropertyViolation",
+    "Protocol",
+    "RefinedProtocol",
+    "RefinementConfig",
+    "RefinementError",
+    "RendezvousSystem",
+    "ReproError",
+    "SemanticsError",
+    "SpecError",
+    "ValidationError",
+    "abstract_state",
+    "assert_safe",
+    "async_structural_invariants",
+    "check_progress",
+    "check_simulation",
+    "coherence_invariants",
+    "explore",
+    "handwritten_migratory",
+    "inp",
+    "invalidate_protocol",
+    "mesi_protocol",
+    "migratory_protocol",
+    "msi_protocol",
+    "out",
+    "protocol",
+    "refine",
+    "tau",
+    "validate_protocol",
+]

@@ -1,0 +1,5 @@
+"""Shared benchmark harnesses (used by benchmarks/ and the CLI)."""
+
+from .table3 import PAPER_TABLE3, Table3Row, render_table3, table3_rows
+
+__all__ = ["PAPER_TABLE3", "Table3Row", "render_table3", "table3_rows"]

@@ -1,0 +1,16 @@
+"""Explicit-state model checking: reachability, safety, progress, simulation."""
+
+from .explorer import explore
+from .properties import ProgressReport, assert_safe, check_progress, tarjan_sccs
+from .response import ResponseReport, check_response, grant_edge, remote_in_state
+from .simulation import SimulationReport, check_simulation
+from .symmetry import SymmetricSystem, SymmetrySpec, normalize
+from .stats import Counterexample, ExplorationResult
+
+__all__ = [
+    "Counterexample", "ExplorationResult", "ProgressReport",
+    "SimulationReport", "assert_safe", "check_progress", "check_simulation",
+    "explore", "tarjan_sccs",
+    "SymmetricSystem", "SymmetrySpec", "normalize",
+    "ResponseReport", "check_response", "grant_edge", "remote_in_state",
+]

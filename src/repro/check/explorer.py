@@ -1,0 +1,172 @@
+"""Explicit-state reachability exploration (the SPIN role in the paper).
+
+The explorer is generic over a *system* object exposing::
+
+    initial_state() -> S          # S hashable, immutable
+    successors(S) -> list[(action, S)]
+
+which both :class:`~repro.semantics.rendezvous.RendezvousSystem` and
+:class:`~repro.semantics.asynchronous.AsyncSystem` provide.  It performs a
+breadth-first sweep of the reachable state space, checking invariants as
+states are discovered and recording deadlocks, and stops early when the
+state or time budget runs out — our stand-in for the paper's 64 MB memory
+cap that produced the "Unfinished" cells of Table 3.
+
+Counterexample traces are reconstructed from BFS parent pointers, so every
+reported violation comes with a *shortest* witnessing run.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import Any, Callable, Hashable, Optional, Protocol, Sequence
+
+from .stats import Counterexample, ExplorationResult
+
+__all__ = ["System", "Invariant", "explore"]
+
+
+class System(Protocol):
+    """Structural interface the explorer needs (duck-typed)."""
+
+    def initial_state(self) -> Hashable: ...
+
+    def successors(self, state: Hashable) -> list[tuple[Any, Hashable]]: ...
+
+
+#: An invariant is a named predicate over single states.
+Invariant = tuple[str, Callable[[Any], bool]]
+
+
+def explore(
+    system: System,
+    *,
+    name: str = "system",
+    invariants: Sequence[Invariant] = (),
+    max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+    keep_graph: bool = False,
+    stop_on_violation: bool = True,
+    allow_deadlock: bool = False,
+) -> ExplorationResult:
+    """Breadth-first reachability analysis of ``system``.
+
+    :param invariants: ``(name, predicate)`` pairs checked on every state.
+    :param max_states: emulate a memory cap; exceeding it stops the run with
+        ``completed=False`` (a Table 3 "Unfinished" cell).
+    :param max_seconds: wall-clock cap with the same early-stop behaviour.
+    :param keep_graph: retain full adjacency for SCC/progress analysis
+        (memory-heavy; only for small systems or livelock checks).
+    :param stop_on_violation: stop at the first invariant violation instead
+        of cataloguing all of them.
+    :param allow_deadlock: when False, states without successors are
+        recorded as deadlocks (with traces); when True they are treated as
+        legitimate final states.
+    :returns: an :class:`~repro.check.stats.ExplorationResult`; never raises
+        for budget exhaustion, deadlocks, or violations — callers decide how
+        strict to be (:func:`repro.check.properties.assert_safe` raises).
+    """
+    t0 = time.perf_counter()
+    init = system.initial_state()
+    parent: dict[Hashable, Optional[tuple[Hashable, Any]]] = {init: None}
+    frontier: deque[Hashable] = deque([init])
+    graph: Optional[dict[Hashable, list[tuple[Any, Hashable]]]] = (
+        {} if keep_graph else None)
+
+    n_transitions = 0
+    deadlocks: list[Hashable] = []
+    violations: list[Counterexample] = []
+    completed = True
+    stop_reason: Optional[str] = None
+
+    def build_trace(state: Hashable) -> tuple[list[Any], list[Any]]:
+        states: list[Any] = [state]
+        steps: list[Any] = []
+        cursor = state
+        while parent[cursor] is not None:
+            prev, action = parent[cursor]  # type: ignore[misc]
+            states.append(prev)
+            steps.append(action)
+            cursor = prev
+        states.reverse()
+        steps.reverse()
+        return states, steps
+
+    def check_invariants(state: Hashable) -> bool:
+        """Check all invariants; return False if exploration should stop."""
+        for prop_name, predicate in invariants:
+            if not predicate(state):
+                states, steps = build_trace(state)
+                violations.append(Counterexample(prop_name, states, steps))
+                if stop_on_violation:
+                    return False
+        return True
+
+    if not check_invariants(init):
+        frontier.clear()
+        completed = False
+        stop_reason = "invariant violated"
+
+    while frontier:
+        if max_states is not None and len(parent) > max_states:
+            completed = False
+            stop_reason = f"state budget {max_states} exceeded"
+            break
+        if max_seconds is not None and time.perf_counter() - t0 > max_seconds:
+            completed = False
+            stop_reason = f"time budget {max_seconds}s exceeded"
+            break
+
+        state = frontier.popleft()
+        succs = system.successors(state)
+        if graph is not None:
+            graph[state] = succs
+        if not succs and not allow_deadlock:
+            deadlocks.append(state)
+        stop = False
+        for action, nxt in succs:
+            n_transitions += 1
+            if nxt not in parent:
+                parent[nxt] = (state, action)
+                if not check_invariants(nxt):
+                    stop = True
+                    break
+                frontier.append(nxt)
+        if stop:
+            completed = False
+            stop_reason = "invariant violated"
+            break
+
+    seconds = time.perf_counter() - t0
+    result = ExplorationResult(
+        system_name=name,
+        n_states=len(parent),
+        n_transitions=n_transitions,
+        seconds=seconds,
+        completed=completed,
+        stop_reason=stop_reason,
+        deadlocks=[_with_trace(build_trace, s) for s in deadlocks],
+        violations=violations,
+        graph=graph,
+        approx_bytes=_approx_bytes(parent),
+    )
+    return result
+
+
+def _with_trace(build_trace: Callable, state: Hashable) -> Counterexample:
+    states, steps = build_trace(state)
+    return Counterexample("deadlock-freedom", states, steps)
+
+
+def _approx_bytes(visited: dict) -> int:
+    """Crude footprint estimate: dict overhead + one sampled state size.
+
+    This is deliberately rough — it exists so benchmark output can narrate
+    the memory-budget story of Table 3, not to meter Python precisely.
+    """
+    if not visited:
+        return 0
+    sample = next(iter(visited))
+    return sys.getsizeof(visited) + len(visited) * sys.getsizeof(sample)

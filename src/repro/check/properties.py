@@ -1,0 +1,258 @@
+"""Safety and progress property checking.
+
+**Safety** (invariants, deadlock freedom) rides on the explorer: invariants
+are checked on every reachable state and deadlocks recorded with shortest
+traces; :func:`assert_safe` converts a bad
+:class:`~repro.check.stats.ExplorationResult` into a raised
+:class:`~repro.errors.PropertyViolation`.
+
+**Progress** is the paper's section 2.5 criterion: "the refinement process
+guarantees that at least one of the refined remote nodes makes forward
+progress, if forward progress is possible in the rendezvous protocol" —
+i.e. *some* rendezvous keeps completing (weak fairness), though any
+individual remote may starve.  We check the standard finite-state
+formulation: in the reachable transition graph,
+
+* there is no deadlock state, and
+* every **terminal** strongly-connected component (one with no edges
+  leaving it) contains at least one *progress edge* — a transition that
+  completes a rendezvous.
+
+A terminal SCC without a progress edge is a **livelock**: the system can
+run forever without ever completing another rendezvous.  This is exactly
+the failure mode the paper's progress-buffer reservation exists to prevent
+(section 3.2: "If no such reservation is made, a livelock can result"),
+and the ablation benchmark reproduces it by switching the reservation off.
+
+The SCC computation is an iterative Tarjan (explicit stack, so deep graphs
+cannot hit Python's recursion limit).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional
+
+from ..errors import BudgetExceeded, PropertyViolation
+from .stats import ExplorationResult
+
+__all__ = ["assert_safe", "ProgressReport", "check_progress", "tarjan_sccs"]
+
+
+def assert_safe(result: ExplorationResult) -> ExplorationResult:
+    """Raise on violations/deadlocks/incompleteness; return ``result`` if ok.
+
+    Violations are reported before incompleteness: a run stopped *by* a
+    violation is incomplete too, and the violation is the interesting fact.
+    A run that is merely incomplete (budget exhausted with nothing bad
+    found) raises :class:`~repro.errors.BudgetExceeded` instead — a
+    different failure class, because "no verdict" is not "unsafe".
+    """
+    if result.violations:
+        first = result.violations[0]
+        raise PropertyViolation(
+            f"{result.system_name}: invariant {first.property_name!r} "
+            f"violated\n{first.describe()}", witness=first)
+    if result.deadlocks:
+        first = result.deadlocks[0]
+        raise PropertyViolation(
+            f"{result.system_name}: deadlock reachable\n{first.describe()}",
+            witness=first)
+    if not result.completed:
+        raise BudgetExceeded(
+            f"{result.system_name}: exploration incomplete "
+            f"({result.stop_reason}); no safety verdict", stats=result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# progress / livelock
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProgressReport:
+    """Outcome of the weak-fairness progress check."""
+
+    ok: bool
+    n_states: int
+    n_sccs: int
+    n_terminal_sccs: int
+    deadlocks: list[Any] = field(default_factory=list)
+    #: one representative state per livelocked terminal SCC, with its size
+    livelocks: list[tuple[int, Any]] = field(default_factory=list)
+    completed: bool = True
+    stop_reason: Optional[str] = None
+
+    def describe(self) -> str:
+        if not self.completed:
+            return f"progress check incomplete: {self.stop_reason}"
+        verdict = "PROGRESS GUARANTEED" if self.ok else "PROGRESS FAILS"
+        extra = ""
+        if self.deadlocks:
+            extra += f"; {len(self.deadlocks)} deadlock(s)"
+        if self.livelocks:
+            sizes = ", ".join(str(n) for n, _s in self.livelocks[:5])
+            extra += f"; livelocked terminal SCC size(s): {sizes}"
+        return (f"{verdict}: {self.n_states} states, {self.n_sccs} SCCs "
+                f"({self.n_terminal_sccs} terminal){extra}")
+
+
+def check_progress(
+    system: Any,
+    *,
+    max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+) -> ProgressReport:
+    """Check weak-fairness progress (no deadlock, no livelocked terminal SCC).
+
+    Works on any system exposing ``initial_state`` and either ``steps``
+    (asynchronous level — progress edges are those completing a rendezvous)
+    or ``successors`` + ``is_progress`` (rendezvous level).
+    """
+    t0 = time.perf_counter()
+    states: dict[Hashable, int] = {}
+    adjacency: list[list[tuple[int, bool]]] = []
+    expand = _expander(system)
+
+    init = system.initial_state()
+    states[init] = 0
+    adjacency.append([])
+    order: list[Hashable] = [init]
+    frontier: deque[int] = deque([0])
+    deadlocks: list[Any] = []
+    completed, stop_reason = True, None
+
+    while frontier:
+        if max_states is not None and len(states) > max_states:
+            completed, stop_reason = False, f"state budget {max_states} exceeded"
+            break
+        if max_seconds is not None and time.perf_counter() - t0 > max_seconds:
+            completed, stop_reason = False, f"time budget {max_seconds}s exceeded"
+            break
+        idx = frontier.popleft()
+        succs = expand(order[idx])
+        if not succs:
+            deadlocks.append(order[idx])
+        edges = []
+        for nxt, progress in succs:
+            j = states.get(nxt)
+            if j is None:
+                j = len(order)
+                states[nxt] = j
+                order.append(nxt)
+                adjacency.append([])
+                frontier.append(j)
+            edges.append((j, progress))
+        adjacency[idx] = edges
+
+    if not completed:
+        return ProgressReport(ok=False, n_states=len(states), n_sccs=0,
+                              n_terminal_sccs=0, completed=False,
+                              stop_reason=stop_reason)
+
+    sccs = tarjan_sccs([[j for j, _p in edges] for edges in adjacency])
+    comp_of = [0] * len(order)
+    for comp_idx, comp in enumerate(sccs):
+        for node in comp:
+            comp_of[node] = comp_idx
+
+    terminal = [True] * len(sccs)
+    has_progress = [False] * len(sccs)
+    has_internal_edge = [False] * len(sccs)
+    for src, edges in enumerate(adjacency):
+        for dst, progress in edges:
+            if comp_of[src] != comp_of[dst]:
+                terminal[comp_of[src]] = False
+            else:
+                has_internal_edge[comp_of[src]] = True
+                if progress:
+                    has_progress[comp_of[src]] = True
+
+    livelocks: list[tuple[int, Any]] = []
+    for comp_idx, comp in enumerate(sccs):
+        if not terminal[comp_idx]:
+            continue
+        if not has_internal_edge[comp_idx]:
+            continue  # a terminal singleton without self-loop is a deadlock,
+            # already recorded above
+        if not has_progress[comp_idx]:
+            livelocks.append((len(comp), order[comp[0]]))
+
+    return ProgressReport(
+        ok=not deadlocks and not livelocks,
+        n_states=len(states),
+        n_sccs=len(sccs),
+        n_terminal_sccs=sum(terminal),
+        deadlocks=deadlocks,
+        livelocks=livelocks,
+    )
+
+
+def _expander(system: Any) -> Callable[[Hashable], list[tuple[Hashable, bool]]]:
+    if hasattr(system, "steps"):
+        def expand(state: Hashable) -> list[tuple[Hashable, bool]]:
+            return [(s.state, bool(s.completes)) for s in system.steps(state)]
+        return expand
+    if hasattr(system, "is_progress"):
+        def expand(state: Hashable) -> list[tuple[Hashable, bool]]:
+            return [(nxt, system.is_progress(action))
+                    for action, nxt in system.successors(state)]
+        return expand
+    raise TypeError("system supports neither steps() nor "
+                    "successors()+is_progress()")
+
+
+def tarjan_sccs(adjacency: list[list[int]]) -> list[list[int]]:
+    """Strongly connected components of a graph given as adjacency lists.
+
+    Iterative Tarjan: returns SCCs in reverse topological order (every edge
+    between components goes from a later-listed SCC to an earlier one).
+    """
+    n = len(adjacency)
+    index = [-1] * n
+    low = [0] * n
+    on_stack = [False] * n
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, edge_pos = work[-1]
+            if edge_pos == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            for pos in range(edge_pos, len(adjacency[node])):
+                succ = adjacency[node][pos]
+                if index[succ] == -1:
+                    work[-1] = (node, pos + 1)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if on_stack[succ]:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    comp.append(member)
+                    if member == node:
+                        break
+                sccs.append(comp)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs

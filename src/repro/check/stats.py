@@ -1,0 +1,91 @@
+"""Result and statistics records for model-checking runs.
+
+The paper's Table 3 reports, per protocol/level/node-count, the number of
+states visited and the wall time of the reachability analysis, with
+"Unfinished" for runs that exhausted the 64 MB memory allotment.
+:class:`ExplorationResult` carries exactly those quantities (plus enough
+extra structure for the property checkers), and renders itself in the
+paper's ``states/seconds`` cell format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["ExplorationResult", "Counterexample"]
+
+
+@dataclass
+class Counterexample:
+    """A finite trace witnessing a property violation.
+
+    ``steps`` is the action sequence from the initial state; ``states`` the
+    corresponding state sequence (one longer than ``steps``).
+    """
+
+    property_name: str
+    states: list[Any]
+    steps: list[Any]
+
+    def describe(self) -> str:
+        lines = [f"counterexample to {self.property_name!r} "
+                 f"({len(self.steps)} steps):"]
+        for idx, action in enumerate(self.steps):
+            state = self.states[idx]
+            lines.append(f"  {idx:3d}. {_describe(state)}")
+            lines.append(f"       --[{_describe(action)}]-->")
+        lines.append(f"  {len(self.steps):3d}. {_describe(self.states[-1])}")
+        return "\n".join(lines)
+
+
+def _describe(obj: Any) -> str:
+    describe = getattr(obj, "describe", None)
+    return describe() if callable(describe) else repr(obj)
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one reachability run (one Table 3 cell)."""
+
+    system_name: str
+    n_states: int
+    n_transitions: int
+    seconds: float
+    completed: bool
+    #: why the run stopped early, when ``completed`` is False
+    stop_reason: Optional[str] = None
+    #: states with no outgoing transitions (deadlocks at this level)
+    deadlocks: list[Any] = field(default_factory=list)
+    #: first counterexample per violated invariant
+    violations: list[Counterexample] = field(default_factory=list)
+    #: adjacency as ``{state: [(action, successor), ...]}`` when graph
+    #: retention was requested (needed for SCC / progress analysis)
+    graph: Optional[dict[Any, list[tuple[Any, Any]]]] = None
+    #: rough memory footprint of the visited-state set, for the Table 3
+    #: memory-budget narrative (Python object sizes, not SPIN's)
+    approx_bytes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Completed with no deadlocks and no invariant violations."""
+        return self.completed and not self.deadlocks and not self.violations
+
+    def cell(self) -> str:
+        """Render as a Table 3 cell: ``states/seconds`` or ``Unfinished``."""
+        if not self.completed:
+            return "Unfinished"
+        return f"{self.n_states}/{self.seconds:.2f}"
+
+    def describe(self) -> str:
+        status = "complete" if self.completed else \
+            f"UNFINISHED ({self.stop_reason})"
+        extra = ""
+        if self.deadlocks:
+            extra += f", {len(self.deadlocks)} deadlock state(s)"
+        if self.violations:
+            names = ", ".join(v.property_name for v in self.violations)
+            extra += f", violations: {names}"
+        return (f"{self.system_name}: {self.n_states} states, "
+                f"{self.n_transitions} transitions in {self.seconds:.2f}s "
+                f"[{status}]{extra}")

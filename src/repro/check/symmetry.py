@@ -1,0 +1,181 @@
+"""Symmetry reduction for protocol state spaces (Ip/Dill scalarset style).
+
+All remote nodes run the same template (paper section 2.4), so every global
+state is equivalent to any relabelling of the remote indices — provided the
+relabelling is applied consistently to the home's id-valued variables, the
+buffers, and the per-remote channels.  Exploring one representative per
+orbit can shrink the reachable space by up to ``n!``, which is exactly what
+the invalidate rows of Table 3 need at larger node counts.
+
+We use a *normalization* function rather than a true canonical form: each
+state is mapped to an orbit member chosen by sorting remotes on a local
+signature (control state, environment, channel contents, buffer
+occupancy, and how the home's variables point at them).  Sorting is not
+guaranteed to merge every orbit when signatures tie, but any consistent
+orbit member is **sound** — the reduced system reaches a state orbit iff
+the full system reaches the orbit — so reachability, deadlock and
+*symmetric* invariants (all of ours quantify over remotes) are preserved.
+Ties only cost extra states, never correctness.
+
+The home's variables that hold remote ids (or sets of them) must be
+declared via :class:`SymmetrySpec` — the semantics cannot tell an id-typed
+``0`` from a data ``0``.  Each library protocol exports its spec
+(``MIGRATORY_SYMMETRY`` etc. in :mod:`repro.protocols.symmetry`).
+
+Progress (SCC) analysis and the Equation-1 checker intentionally do *not*
+use reduction: their edge labels distinguish remote identities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..csp.env import Env
+from ..errors import CheckError
+from ..semantics.asynchronous import AsyncState, BufEntry, HomeNode
+from ..semantics.network import Channels
+from ..semantics.state import ProcState, RvState
+
+__all__ = ["SymmetrySpec", "SymmetricSystem", "normalize"]
+
+
+@dataclass(frozen=True)
+class SymmetrySpec:
+    """Which home variables carry remote identities.
+
+    :param id_vars: variables holding a single remote id (or ``None``).
+    :param set_vars: variables holding a ``frozenset`` of remote ids.
+    """
+
+    id_vars: frozenset[str] = frozenset()
+    set_vars: frozenset[str] = frozenset()
+
+
+class SymmetricSystem:
+    """Wrap a system so the explorer sees one representative per orbit.
+
+    Works with both :class:`~repro.semantics.rendezvous.RendezvousSystem`
+    and :class:`~repro.semantics.asynchronous.AsyncSystem`.  Remote-node
+    environments must themselves be id-free (true for the whole library:
+    remotes only hold data), which is asserted when possible.
+    """
+
+    def __init__(self, inner, spec: SymmetrySpec) -> None:
+        self.inner = inner
+        self.spec = spec
+        self.n = inner.n_remotes
+
+    def initial_state(self):
+        return normalize(self.inner.initial_state(), self.spec)
+
+    def successors(self, state):
+        return [(action, normalize(nxt, self.spec))
+                for action, nxt in self.inner.successors(state)]
+
+
+def normalize(state: Union[RvState, AsyncState],
+              spec: SymmetrySpec) -> Union[RvState, AsyncState]:
+    """Map ``state`` to its orbit representative."""
+    if isinstance(state, RvState):
+        return _normalize_rv(state, spec)
+    if isinstance(state, AsyncState):
+        return _normalize_async(state, spec)
+    raise CheckError(f"cannot normalize states of type {type(state)!r}")
+
+
+# ---------------------------------------------------------------------------
+
+
+def _env_key(env: Env) -> tuple:
+    return tuple((k, repr(v)) for k, v in env.items())
+
+
+def _home_refs(env: Env, spec: SymmetrySpec, i: int) -> tuple:
+    """How the home's id-typed variables point at remote ``i``."""
+    singles = tuple(sorted(var for var in spec.id_vars
+                           if var in env and env[var] == i))
+    members = tuple(sorted(var for var in spec.set_vars
+                           if var in env
+                           and isinstance(env[var], frozenset)
+                           and i in env[var]))
+    return singles, members
+
+
+def _relabel_env(env: Env, spec: SymmetrySpec,
+                 relabel: dict[int, int]) -> Env:
+    changes = {}
+    for var in spec.id_vars:
+        if var in env and isinstance(env[var], int) and env[var] in relabel:
+            changes[var] = relabel[env[var]]
+    for var in spec.set_vars:
+        if var in env and isinstance(env[var], frozenset):
+            changes[var] = frozenset(relabel.get(m, m) for m in env[var])
+    return env.update(changes) if changes else env
+
+
+def _apply_order(order: list[int]) -> dict[int, int]:
+    """old index -> new index, given the chosen representative order."""
+    return {old: new for new, old in enumerate(order)}
+
+
+def _normalize_rv(state: RvState, spec: SymmetrySpec) -> RvState:
+    def signature(i: int) -> tuple:
+        proc = state.remotes[i]
+        return (proc.state, _env_key(proc.env),
+                _home_refs(state.home.env, spec, i))
+
+    order = sorted(range(state.n_remotes), key=signature)
+    if order == list(range(state.n_remotes)):
+        return state  # already the representative
+    relabel = _apply_order(order)
+    remotes = tuple(state.remotes[old] for old in order)
+    home = ProcState(state.home.state,
+                     _relabel_env(state.home.env, spec, relabel))
+    return RvState(home=home, remotes=remotes)
+
+
+def _normalize_async(state: AsyncState, spec: SymmetrySpec) -> AsyncState:
+    home = state.home
+
+    def signature(i: int) -> tuple:
+        node = state.remotes[i]
+        down = tuple(m.describe()
+                     for m in state.channels.queues[Channels.to_remote(i)])
+        up = tuple(m.describe()
+                   for m in state.channels.queues[Channels.to_home(i)])
+        buffer_slots = tuple(pos for pos, entry in enumerate(home.buffer)
+                             if entry.sender == i)
+        note_slots = tuple(pos for pos, entry in enumerate(home.buffer)
+                           if entry.sender == i and entry.note)
+        return (node.state, node.mode, node.pending_out or -1,
+                node.buf.describe() if node.buf else "",
+                _env_key(node.env), down, up, buffer_slots, note_slots,
+                home.awaiting == i,
+                _home_refs(home.env, spec, i))
+
+    order = sorted(range(len(state.remotes)), key=signature)
+    if order == list(range(len(state.remotes))):
+        return state
+    relabel = _apply_order(order)
+
+    remotes = tuple(state.remotes[old] for old in order)
+    queues = list(state.channels.queues)
+    new_queues = list(queues)
+    for old, new in relabel.items():
+        new_queues[Channels.to_remote(new)] = queues[Channels.to_remote(old)]
+        new_queues[Channels.to_home(new)] = queues[Channels.to_home(old)]
+    buffer = tuple(
+        BufEntry(sender=relabel.get(e.sender, e.sender)
+                 if isinstance(e.sender, int) else e.sender,
+                 msg=e.msg, payload=e.payload, note=e.note)
+        for e in home.buffer)
+    awaiting = (relabel[home.awaiting]
+                if isinstance(home.awaiting, int) else home.awaiting)
+    new_home = HomeNode(state=home.state,
+                        env=_relabel_env(home.env, spec, relabel),
+                        mode=home.mode, out_idx=home.out_idx,
+                        awaiting=awaiting, pending_out=home.pending_out,
+                        buffer=buffer)
+    return AsyncState(home=new_home, remotes=remotes,
+                      channels=Channels(queues=tuple(new_queues)))

@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro <command>``.
+
+Commands:
+
+* ``verify``   — model-check a library protocol at a given level/node count
+  (``--symmetry`` explores one representative per remote-permutation orbit).
+* ``refine``   — print the refinement plan and the refined state machines.
+* ``simulate`` — run the discrete-event simulator and print metrics
+  (``--msc N`` renders a message-sequence chart of the first N events).
+* ``soundness``— check Equation 1 (weak simulation) exhaustively.
+* ``table3``   — regenerate the paper's Table 3 (states/time, both levels).
+* ``pool``     — the section 6 multi-line shared-buffer-pool study.
+
+Examples::
+
+    repro verify migratory --level rendezvous -n 8 --progress
+    repro verify invalidate -n 6 --symmetry
+    repro refine invalidate --figures
+    repro simulate migratory -n 8 --workload hot --until 50000
+    repro simulate migratory -n 3 --until 500 --msc 12
+    repro soundness msi -n 2
+    repro table3 --budget 200000
+    repro pool migratory --lines 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional
+
+from . import __version__
+from .check.explorer import explore
+from .check.properties import check_progress
+from .check.simulation import check_simulation
+from .protocols.handwritten import handwritten_migratory
+from .protocols.invalidate import invalidate_protocol
+from .protocols.invariants import (
+    INVALIDATE_SPEC,
+    MESI_SPEC,
+    MIGRATORY_SPEC,
+    MSI_SPEC,
+    async_structural_invariants,
+    coherence_invariants,
+)
+from .protocols.mesi import mesi_protocol
+from .protocols.migratory import migratory_protocol
+from .protocols.msi import msi_protocol
+from .refine.engine import refine
+from .refine.plan import RefinementConfig
+from .semantics.asynchronous import AsyncSystem
+from .semantics.rendezvous import RendezvousSystem
+from .sim.engine import Simulator
+from .sim.workload import HotLineWorkload, SyntheticWorkload
+from .viz.ascii import process_ascii, protocol_summary, refined_ascii
+from .viz.dot import refined_dot
+
+PROTOCOLS: dict[str, Callable] = {
+    "mesi": mesi_protocol,
+    "migratory": migratory_protocol,
+    "invalidate": invalidate_protocol,
+    "msi": msi_protocol,
+}
+
+SPECS = {
+    "mesi": MESI_SPEC,
+    "migratory": MIGRATORY_SPEC,
+    "invalidate": INVALIDATE_SPEC,
+    "msi": MSI_SPEC,
+}
+
+
+def _build(name: str):
+    try:
+        return PROTOCOLS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown protocol {name!r}; choose from "
+            f"{', '.join(sorted(PROTOCOLS))}") from None
+
+
+def _config(args) -> RefinementConfig:
+    return RefinementConfig(
+        home_buffer_capacity=args.buffer,
+        use_reqreply=not args.no_reqreply,
+        reserve_progress_buffer=not args.no_progress_buffer,
+        fire_and_forget=(frozenset({"LR"}) if getattr(args, "hand", False)
+                         else frozenset()),
+    )
+
+
+def cmd_verify(args) -> int:
+    protocol = _build(args.protocol)
+    invariants = list(coherence_invariants(SPECS[args.protocol]))
+    if args.level == "rendezvous":
+        system = RendezvousSystem(protocol, args.nodes)
+    else:
+        refined = refine(protocol, _config(args))
+        invariants += async_structural_invariants(args.buffer)
+        system = AsyncSystem(refined, args.nodes)
+    base_system = system
+    if args.symmetry:
+        from .check.symmetry import SymmetricSystem
+        from .protocols.symmetry import symmetry_spec_for
+        system = SymmetricSystem(system, symmetry_spec_for(args.protocol))
+    result = explore(system, name=f"{args.protocol}-{args.level}-{args.nodes}",
+                     invariants=invariants, max_states=args.budget,
+                     max_seconds=args.timeout)
+    print(result.describe())
+    for violation in result.violations:
+        print(violation.describe())
+    for deadlock in result.deadlocks[:1]:
+        print(deadlock.describe())
+    if args.progress:
+        # SCC-based progress distinguishes remote identities in its edge
+        # labels, so it always runs on the unreduced system.
+        print(check_progress(base_system, max_states=args.budget).describe())
+    return 0 if result.ok else 1
+
+
+def cmd_refine(args) -> int:
+    protocol = _build(args.protocol)
+    refined = refine(protocol, _config(args))
+    print(protocol_summary(refined))
+    print()
+    if args.dot:
+        print(refined_dot(refined, "home"))
+        print(refined_dot(refined, "remote"))
+        return 0
+    if args.figures:
+        print("--- rendezvous home (cf. paper Figure 2) ---")
+        print(process_ascii(protocol.home))
+        print("\n--- rendezvous remote (cf. paper Figure 3) ---")
+        print(process_ascii(protocol.remote))
+        print()
+    print("--- refined home (cf. paper Figure 4) ---")
+    print(refined_ascii(refined, "home"))
+    print("\n--- refined remote (cf. paper Figure 5) ---")
+    print(refined_ascii(refined, "remote"))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    protocol = _build(args.protocol)
+    if getattr(args, "hand", False) and args.protocol != "migratory":
+        raise SystemExit("--hand applies to the migratory protocol only")
+    refined = (handwritten_migratory(home_buffer_capacity=args.buffer)
+               if getattr(args, "hand", False)
+               else refine(protocol, _config(args)))
+    if args.workload == "hot":
+        workload = HotLineWorkload(seed=args.seed)
+    else:
+        workload = SyntheticWorkload(seed=args.seed,
+                                     write_fraction=args.write_fraction)
+    simulator = Simulator(refined, args.nodes, workload, seed=args.seed,
+                          latency=args.latency,
+                          record_trace=args.msc is not None)
+    metrics = simulator.run(until=args.until)
+    print(metrics.describe())
+    if args.msc is not None:
+        from .viz.msc import render_msc
+        print()
+        print(render_msc(simulator.trace, args.nodes, max_events=args.msc))
+    return 0
+
+
+def cmd_soundness(args) -> int:
+    protocol = _build(args.protocol)
+    refined = refine(protocol, _config(args))
+    report = check_simulation(AsyncSystem(refined, args.nodes),
+                              max_states=args.budget,
+                              max_seconds=args.timeout)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def cmd_table3(args) -> int:
+    from .bench.table3 import render_table3  # lazy: imports the harness
+    print(render_table3(budget=args.budget, time_budget=args.timeout))
+    return 0
+
+
+def cmd_pool(args) -> int:
+    from .sim.pool import simulate_pool
+    protocol = _build(args.protocol)
+    refined = refine(protocol, _config(args))
+
+    def workload(line: int):
+        return SyntheticWorkload(seed=args.seed + line,
+                                 think_time=args.think_time,
+                                 write_fraction=args.write_fraction)
+
+    report = simulate_pool(refined, args.nodes, args.lines, workload,
+                           until=args.until, seed=args.seed)
+    print(report.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__.split("\n\n")[0],
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, default_nodes=2):
+        p.add_argument("protocol", choices=sorted(PROTOCOLS))
+        p.add_argument("-n", "--nodes", type=int, default=default_nodes)
+        p.add_argument("--buffer", type=int, default=2,
+                       help="home buffer capacity k (default 2)")
+        p.add_argument("--no-reqreply", action="store_true",
+                       help="disable the section 3.3 optimization")
+        p.add_argument("--no-progress-buffer", action="store_true",
+                       help="ablation: drop the progress-buffer reservation")
+        p.add_argument("--budget", type=int, default=None,
+                       help="state budget (emulates a memory cap)")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="wall-clock budget in seconds")
+
+    p = sub.add_parser("verify", help="model-check a protocol")
+    common(p)
+    p.add_argument("--level", choices=["rendezvous", "async"],
+                   default="rendezvous")
+    p.add_argument("--progress", action="store_true",
+                   help="also run the weak-fairness progress check")
+    p.add_argument("--symmetry", action="store_true",
+                   help="explore one representative per remote-permutation "
+                        "orbit (identical-remote symmetry reduction)")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("refine", help="show the refinement result")
+    common(p)
+    p.add_argument("--figures", action="store_true",
+                   help="also print the rendezvous machines (Figures 2-3)")
+    p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p.set_defaults(func=cmd_refine)
+
+    p = sub.add_parser("simulate", help="run the discrete-event simulator")
+    common(p, default_nodes=8)
+    p.add_argument("--workload", choices=["synthetic", "hot"],
+                   default="synthetic")
+    p.add_argument("--until", type=float, default=50_000.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--latency", type=float, default=5.0)
+    p.add_argument("--write-fraction", type=float, default=0.5)
+    p.add_argument("--hand", action="store_true",
+                   help="use the hand-designed (unacked LR) variant")
+    p.add_argument("--msc", type=int, metavar="N", default=None,
+                   help="print a message-sequence chart of the first N "
+                        "delivery/completion events")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("soundness", help="check Equation 1 exhaustively")
+    common(p)
+    p.set_defaults(func=cmd_soundness)
+
+    p = sub.add_parser("table3", help="regenerate the paper's Table 3")
+    p.add_argument("--budget", type=int, default=100_000,
+                   help="state budget standing in for the 64 MB cap")
+    p.add_argument("--timeout", type=float, default=120.0)
+    p.set_defaults(func=cmd_table3)
+
+    p = sub.add_parser("pool", help="multi-line shared-buffer-pool study "
+                                    "(paper section 6)")
+    common(p, default_nodes=8)
+    p.add_argument("--lines", type=int, default=32,
+                   help="number of concurrently simulated lines")
+    p.add_argument("--until", type=float, default=10_000.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--think-time", type=float, default=120.0)
+    p.add_argument("--write-fraction", type=float, default=1.0)
+    p.set_defaults(func=cmd_pool)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

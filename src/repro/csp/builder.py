@@ -1,0 +1,162 @@
+"""Fluent builder API for rendezvous protocol specifications.
+
+The AST in :mod:`repro.csp.ast` is deliberately plain; this module is the
+ergonomic front door protocol authors use::
+
+    from repro.csp.builder import ProcessBuilder, out, inp, tau
+    from repro.csp.ast import AnySender, VarSender, VarTarget, DATA
+
+    home = ProcessBuilder.home("migratory-home", o=None)
+    home.state("F", inp("req", sender=AnySender(), bind_sender="i", to="F1"))
+    home.state("F1", out("gr", target=VarTarget("i"),
+                         payload=lambda env: DATA,
+                         update=lambda env: env.set("o", env["i"]),
+                         to="E"))
+    ...
+    process = home.build()
+
+Guard helper functions (:func:`out`, :func:`inp`, :func:`tau`) mirror the
+paper's ``P!m(e)`` / ``P?m(v)`` / autonomous-decision notation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .ast import (
+    Guard,
+    Input,
+    Output,
+    ProcessDef,
+    ProcessKind,
+    Protocol,
+    SenderPat,
+    StateDef,
+    Target,
+    Tau,
+)
+from .env import Env, Value
+from ..errors import SpecError
+
+__all__ = ["ProcessBuilder", "out", "inp", "tau", "protocol"]
+
+
+def out(
+    msg: str,
+    to: str,
+    *,
+    target: Optional[Target] = None,
+    payload: Optional[Callable[[Env], Value]] = None,
+    update: Optional[Callable[[Env], Env]] = None,
+    cond: Optional[Callable[[Env], bool]] = None,
+) -> Output:
+    """Active rendezvous offer ``peer!msg(payload)`` moving to state ``to``.
+
+    On the remote side leave ``target`` as ``None`` (the peer is always the
+    home node); on the home side pass a :class:`~repro.csp.ast.Target`.
+    """
+    return Output(msg=msg, to=to, target=target, payload=payload,
+                  update=update, cond=cond)
+
+
+def inp(
+    msg: str,
+    to: str,
+    *,
+    sender: Optional[SenderPat] = None,
+    bind_sender: Optional[str] = None,
+    bind_value: Optional[str] = None,
+    cond: Optional[Callable[[Env, int, Value], bool]] = None,
+    update: Optional[Callable[[Env], Env]] = None,
+) -> Input:
+    """Passive rendezvous offer ``peer?msg(bind_value)`` moving to ``to``."""
+    return Input(msg=msg, to=to, sender=sender, bind_sender=bind_sender,
+                 bind_value=bind_value, cond=cond, update=update)
+
+
+def tau(
+    label: str,
+    to: str,
+    *,
+    cond: Optional[Callable[[Env], bool]] = None,
+    update: Optional[Callable[[Env], Env]] = None,
+) -> Tau:
+    """Autonomous internal decision (e.g. ``evict``) moving to ``to``."""
+    return Tau(label=label, to=to, cond=cond, update=update)
+
+
+class ProcessBuilder:
+    """Accumulates states for one process, then :meth:`build`\\ s it.
+
+    Use the :meth:`home` / :meth:`remote` constructors so the process kind
+    (and hence which addressing fields guards must fill in) is explicit.
+    Variable declarations are keyword arguments giving initial values.
+    """
+
+    def __init__(self, name: str, kind: str, **variables: Value) -> None:
+        self._name = name
+        self._kind = kind
+        self._env = Env(dict(variables))
+        self._states: dict[str, StateDef] = {}
+        self._initial: Optional[str] = None
+
+    @classmethod
+    def home(cls, name: str, **variables: Value) -> "ProcessBuilder":
+        return cls(name, ProcessKind.HOME, **variables)
+
+    @classmethod
+    def remote(cls, name: str, **variables: Value) -> "ProcessBuilder":
+        return cls(name, ProcessKind.REMOTE, **variables)
+
+    def state(self, name: str, *guards: Guard, initial: bool = False) -> "ProcessBuilder":
+        """Declare state ``name`` with its (ordered) guards.
+
+        The first declared state is the initial state unless another is
+        explicitly marked ``initial=True``.
+        """
+        if name in self._states:
+            raise SpecError(f"state {name!r} declared twice in {self._name!r}")
+        self._check_guard_addressing(name, guards)
+        self._states[name] = StateDef(name=name, guards=tuple(guards))
+        if initial or self._initial is None:
+            self._initial = name
+        return self
+
+    def _check_guard_addressing(self, state: str, guards: tuple[Guard, ...]) -> None:
+        for guard in guards:
+            where = f"{self._name}.{state}: {guard.describe()}"
+            if self._kind == ProcessKind.HOME:
+                if isinstance(guard, Output) and guard.target is None:
+                    raise SpecError(f"{where}: home outputs need a target")
+                if isinstance(guard, Input) and guard.sender is None:
+                    raise SpecError(f"{where}: home inputs need a sender pattern")
+            else:
+                if isinstance(guard, Output) and guard.target is not None:
+                    raise SpecError(f"{where}: remote outputs go to home; "
+                                    "no target allowed")
+                if isinstance(guard, Input) and guard.sender is not None:
+                    raise SpecError(f"{where}: remote inputs come from home; "
+                                    "no sender pattern allowed")
+                if isinstance(guard, Input) and guard.bind_sender is not None:
+                    raise SpecError(f"{where}: remote inputs cannot bind a "
+                                    "sender (it is always home)")
+
+    def build(self) -> ProcessDef:
+        if not self._states:
+            raise SpecError(f"process {self._name!r} has no states")
+        assert self._initial is not None
+        return ProcessDef(
+            name=self._name,
+            kind=self._kind,
+            states=dict(self._states),
+            initial_state=self._initial,
+            initial_env=self._env,
+        )
+
+
+def protocol(name: str, home: ProcessBuilder | ProcessDef,
+             remote: ProcessBuilder | ProcessDef) -> Protocol:
+    """Assemble a :class:`~repro.csp.ast.Protocol` from builders or processes."""
+    home_def = home.build() if isinstance(home, ProcessBuilder) else home
+    remote_def = remote.build() if isinstance(remote, ProcessBuilder) else remote
+    return Protocol(name=name, home=home_def, remote=remote_def)

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the library with a single ``except`` clause
+while still being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpecError(ReproError):
+    """A protocol specification is malformed (dangling state, bad guard...)."""
+
+
+class ValidationError(SpecError):
+    """A specification violates the paper's syntactic restrictions.
+
+    The refinement procedure of the paper is only sound for protocols in
+    star topology whose remote nodes use restricted guard shapes
+    (paper section 2.4).  :mod:`repro.csp.validate` raises this error when a
+    protocol falls outside that class.
+    """
+
+
+class SemanticsError(ReproError):
+    """An execution-time inconsistency in the transition semantics.
+
+    Raised for situations the paper's rules make unreachable (e.g. a remote
+    node's single-slot buffer overflowing).  Seeing this exception means a
+    bug in either the protocol or the library, never a legal protocol state.
+    """
+
+
+class RefinementError(ReproError):
+    """The refinement engine cannot translate a (validated) protocol."""
+
+
+class CheckError(ReproError):
+    """A model-checking run failed to produce a verdict (budget exceeded...)."""
+
+
+class BudgetExceeded(CheckError):
+    """State or memory budget exhausted before the search finished.
+
+    Mirrors the paper's "Unfinished" entries in Table 3, where SPIN ran out
+    of its 64 MB allotment.  Carries the partial statistics so benchmark
+    harnesses can still report how far the search got.
+    """
+
+    def __init__(self, message: str, stats: object | None = None) -> None:
+        super().__init__(message)
+        self.stats = stats
+
+
+class PropertyViolation(CheckError):
+    """A checked property (invariant, deadlock-freedom, progress) failed.
+
+    ``witness`` carries a counterexample trace when the checker can build
+    one: a list of ``(state, action)`` pairs from the initial state.
+    """
+
+    def __init__(self, message: str, witness: object | None = None) -> None:
+        super().__init__(message)
+        self.witness = witness
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent configuration."""

@@ -1,0 +1,5 @@
+"""Random protocol generation for property-based testing."""
+
+from .random_protocol import GeneratorParams, random_protocol
+
+__all__ = ["GeneratorParams", "random_protocol"]

@@ -1,0 +1,124 @@
+"""Random well-formed rendezvous protocols, for property-based testing.
+
+The paper claims its procedure "can be applied to derive a large class of
+DSM cache protocols".  We test that claim mechanically: generate random
+protocols *within the restricted specification class* (star topology,
+remote-node input-only nondeterminism, no internal-only cycles), refine
+them, and check that the soundness theorem (weak simulation, deadlock
+behaviour, structural invariants) holds for every one.
+
+Construction guarantees (so every output passes
+:func:`repro.csp.validate.validate_protocol` by design):
+
+* remote states are active (exactly one output), passive (1..3 inputs plus
+  optional taus) or internal (taus only), with every tau targeting a
+  communication state (hence no internal-only cycles);
+* the home mixes inputs (on remote-sent messages) and outputs (on
+  home-sent messages) freely; its target variable ``j`` starts at remote 0
+  and is rebound by sender-binding inputs, so targets always evaluate;
+* every state has at least one guard (no terminal states).
+
+Generated protocols are *not* guaranteed deadlock-free at the rendezvous
+level — that is a per-protocol property the paper expects users to model
+check first.  The soundness property we test (Equation 1) holds for the
+whole class regardless.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..csp.ast import AnySender, VarTarget
+from ..csp.builder import ProcessBuilder, inp, out, protocol, tau
+from ..csp.ast import Protocol
+from ..csp.validate import validate_protocol
+
+__all__ = ["GeneratorParams", "random_protocol"]
+
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """Shape parameters for :func:`random_protocol`."""
+
+    n_remote_states: int = 4
+    n_home_states: int = 4
+    n_remote_msgs: int = 2   # message types the remote can send
+    n_home_msgs: int = 2     # message types the home can send
+    p_remote_active: float = 0.45
+    p_remote_tau: float = 0.4
+    max_guards: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_remote_states < 2 or self.n_home_states < 1:
+            raise ValueError("need at least 2 remote / 1 home states")
+        if self.n_remote_msgs < 1 or self.n_home_msgs < 1:
+            raise ValueError("need at least one message each way")
+
+
+def random_protocol(seed: int,
+                    params: GeneratorParams = GeneratorParams()) -> Protocol:
+    """Generate a random validated protocol from ``seed``."""
+    rng = random.Random(seed)
+    remote_msgs = [f"up{i}" for i in range(params.n_remote_msgs)]
+    home_msgs = [f"dn{i}" for i in range(params.n_home_msgs)]
+
+    remote_states = [f"r{i}" for i in range(params.n_remote_states)]
+    home_states = [f"h{i}" for i in range(params.n_home_states)]
+
+    # -- remote: decide state kinds first so taus can target comm states
+    kinds: dict[str, str] = {}
+    for name in remote_states:
+        roll = rng.random()
+        if roll < params.p_remote_active:
+            kinds[name] = "active"
+        elif roll < 0.9:
+            kinds[name] = "passive"
+        else:
+            kinds[name] = "internal"
+    # at least one communication state must exist for taus to target
+    if all(kind == "internal" for kind in kinds.values()):
+        kinds[remote_states[0]] = "active"
+    comm_states = [s for s in remote_states if kinds[s] != "internal"]
+
+    remote = ProcessBuilder.remote("gen-remote")
+    for name in remote_states:
+        if kinds[name] == "active":
+            remote.state(name, out(rng.choice(remote_msgs),
+                                   to=rng.choice(remote_states)))
+            continue
+        guards = []
+        if kinds[name] == "passive":
+            for msg in rng.sample(home_msgs,
+                                  rng.randint(1, min(params.max_guards,
+                                                     len(home_msgs)))):
+                guards.append(inp(msg, to=rng.choice(remote_states)))
+            if rng.random() < params.p_remote_tau:
+                guards.append(tau(f"t{name}", to=rng.choice(comm_states)))
+        else:  # internal
+            guards.append(tau(f"t{name}", to=rng.choice(comm_states)))
+        remote.state(name, *guards)
+
+    # -- home: generalized guards
+    home = ProcessBuilder.home("gen-home", j=0)
+    for name in home_states:
+        guards = []
+        n_guards = rng.randint(1, params.max_guards)
+        for _ in range(n_guards):
+            if rng.random() < 0.55:
+                guards.append(inp(
+                    rng.choice(remote_msgs),
+                    sender=AnySender(),
+                    bind_sender="j" if rng.random() < 0.7 else None,
+                    to=rng.choice(home_states)))
+            else:
+                guards.append(out(rng.choice(home_msgs),
+                                  target=VarTarget("j"),
+                                  to=rng.choice(home_states)))
+        if not any(True for _ in guards):  # pragma: no cover - n_guards >= 1
+            guards.append(inp(remote_msgs[0], sender=AnySender(),
+                              to=rng.choice(home_states)))
+        home.state(name, *guards)
+
+    return validate_protocol(
+        protocol(f"gen-{seed}", home, remote))

@@ -1,0 +1,231 @@
+"""The invalidate protocol — "another DSM protocol used in Avalanche".
+
+The paper evaluates this protocol in Table 3 but does not give its figures;
+we reconstruct it in the standard DASH/Avalanche style: any number of
+remote nodes may hold *read* copies simultaneously (tracked in a sharers
+set at the home), one node may hold an exclusive *write* copy, and a write
+request invalidates all read copies first.  The reconstruction stays inside
+the paper's specification language: star topology, restricted remote
+guards, generalized home guards, sets as ordinary home-node variables.
+
+Home node — variables ``o`` (exclusive owner), ``j`` (pending requester),
+``t``/``t0`` (sharer being removed / invalidated), ``S`` (sharers set),
+``mem`` (line value)::
+
+    F   --r(j)?reqR-->  F.gr   --r(j)!grR(mem)  [S∪={j}]--> Sh
+    F   --r(j)?reqW-->  F.grw  --r(j)!grW(mem)  [o:=j]-->   E
+
+    Sh  --r(j)?reqR-->  Sh.gr  --r(j)!grR(mem)  [S∪={j}]--> Sh
+    Sh  --r(t∈S)?evS    [S-={t}]--> Sh.chk (τ: empty? F : Sh)
+    Sh  --r(j)?reqW-->  W.chk                    (invalidation loop)
+
+    W.chk  : τ done[S=∅] --> W.grant ; τ more[S≠∅, t0:=min S] --> W.send
+    W.send : --r(t0)!invS--> W.wait ; --r(t∈S)?evS [S-={t}]--> W.chk
+    W.wait : --r(t0)?IA [S-={t0}]--> W.chk
+             --r(t∈S)?evS [S-={t}]--> W.wait
+    W.grant: --r(j)!grW(mem) [o:=j]--> E
+
+    E   --r(o)?LR(mem) [o:=None]--> F
+    E   --r(j)?reqR--> RI ; RI --r(o)!inv--> RI2 ; RI --r(o)?LR--> RI3
+        RI2 --r(o)?{ID,LR}(mem)--> RI3 ; RI3 --r(j)!grR(mem) [S:={j}]--> Sh
+    E   --r(j)?reqW--> WI ; WI --r(o)!inv--> WI2 ; WI --r(o)?LR--> WI3
+        WI2 --r(o)?{ID,LR}(mem)--> WI3 ; WI3 --r(j)!grW(mem) [o:=j]--> E
+
+Remote node — variable ``d``::
+
+    I  --τ:wantR--> I.r --h!reqR--> I.grR --h?grR(d)--> S
+    I  --τ:wantW--> I.w --h!reqW--> I.grW --h?grW(d)--> M
+    S  --τ:evict--> S.ev --h!evS--> I
+    S  --h?invS--> S.ia --h!IA--> I
+    M  --τ:evict--> M.lr --h!LR(d)--> I
+    M  --h?inv--> M.id --h!ID(d)--> I
+
+A write upgrade from ``S`` is expressed compositionally (evict the read
+copy, then request write); the :mod:`repro.protocols.msi` extension adds a
+first-class upgrade transaction instead.
+
+Note the CPU intent (``wantR``/``wantW``) is necessarily an explicit tau
+here — a remote must choose *which* single rendezvous to pursue, and the
+section 2.4 restriction forbids output non-determinism — so every idle
+remote carries an intent bit and the state space grows exponentially in the
+node count even at the rendezvous level.  That matches the paper's Table 3,
+where even the *rendezvous* invalidate protocol reaches 228 kstates at a
+mere 6 nodes (vs. 965 states for migratory at 8).
+
+Fusable pairs detected by the engine: ``reqR``/``grR``, ``reqW``/``grW``
+(reply path through the invalidation loop — accepted because the loop
+terminates; see :func:`repro.refine.reqreply.check_pair`), ``invS``/``IA``
+and ``inv``/``ID``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..csp.ast import DATA, AnySender, SetSender, VarSender, VarTarget
+from ..csp.builder import ProcessBuilder, inp, out, protocol, tau
+from ..csp.validate import validate_protocol
+
+__all__ = ["invalidate_protocol", "INVALIDATE_MSGS"]
+
+#: Message vocabulary of the invalidate protocol.
+INVALIDATE_MSGS = ("reqR", "reqW", "grR", "grW", "evS", "invS", "IA",
+                   "inv", "ID", "LR")
+
+
+def invalidate_protocol(data_values: Optional[int] = None):
+    """Build the invalidate rendezvous protocol.
+
+    :param data_values: size of the finite data domain, or ``None`` for the
+        abstract single-token payload model (writes then leave the value
+        unchanged; with a domain, M-state writes increment mod the domain).
+    :returns: a validated :class:`~repro.csp.ast.Protocol`.
+    """
+    abstract = data_values is None
+
+    def initial_data():
+        return DATA if abstract else 0
+
+    home = ProcessBuilder.home(
+        "invalidate-home",
+        o=None, j=None, t=None, t0=None, S=frozenset(), mem=initial_data())
+    grant = lambda env: env["mem"]
+
+    def add_sharer(var: str):
+        return lambda env: env.update(
+            {"S": env["S"] | frozenset({env[var]}), var: None})
+
+    def drop_sharer(var: str):
+        return lambda env: env.set("S", env["S"] - frozenset({env[var]}))
+
+    # -- free ---------------------------------------------------------------
+    home.state(
+        "F",
+        inp("reqR", sender=AnySender(), bind_sender="j", to="F.gr"),
+        inp("reqW", sender=AnySender(), bind_sender="j", to="F.grw"),
+    )
+    home.state("F.gr", out("grR", target=VarTarget("j"), payload=grant,
+                           update=add_sharer("j"), to="Sh"))
+    home.state("F.grw", out("grW", target=VarTarget("j"), payload=grant,
+                            update=lambda env: env.update({"o": env["j"],
+                                                           "j": None}),
+                            to="E"))
+
+    # -- shared -------------------------------------------------------------
+    home.state(
+        "Sh",
+        inp("reqR", sender=AnySender(), bind_sender="j", to="Sh.gr"),
+        inp("evS", sender=SetSender("S"), bind_sender="t",
+            update=drop_sharer("t"), to="Sh.chk"),
+        inp("reqW", sender=AnySender(), bind_sender="j", to="W.chk"),
+    )
+    home.state("Sh.gr", out("grR", target=VarTarget("j"), payload=grant,
+                            update=add_sharer("j"), to="Sh"))
+    home.state(
+        "Sh.chk",
+        tau("empty", cond=lambda env: not env["S"], to="F"),
+        tau("nonempty", cond=lambda env: bool(env["S"]), to="Sh"),
+    )
+
+    # -- write-invalidate loop ------------------------------------------------
+    home.state(
+        "W.chk",
+        tau("done", cond=lambda env: not env["S"], to="W.grant"),
+        tau("more", cond=lambda env: bool(env["S"]),
+            update=lambda env: env.set("t0", min(env["S"])), to="W.send"),
+    )
+    home.state(
+        "W.send",
+        out("invS", target=VarTarget("t0"), to="W.wait"),
+        inp("evS", sender=SetSender("S"), bind_sender="t",
+            update=drop_sharer("t"), to="W.chk"),
+    )
+    home.state(
+        "W.wait",
+        inp("IA", sender=VarSender("t0"),
+            update=lambda env: env.update(
+                {"S": env["S"] - frozenset({env["t0"]}), "t0": None}),
+            to="W.chk"),
+        inp("evS", sender=SetSender("S"), bind_sender="t",
+            update=drop_sharer("t"), to="W.wait"),
+    )
+    home.state("W.grant", out("grW", target=VarTarget("j"), payload=grant,
+                              update=lambda env: env.update({"o": env["j"],
+                                                             "j": None}),
+                              to="E"))
+
+    # -- exclusive ------------------------------------------------------------
+    home.state(
+        "E",
+        inp("LR", sender=VarSender("o"), bind_value="mem",
+            update=lambda env: env.set("o", None), to="F"),
+        inp("reqR", sender=AnySender(), bind_sender="j", to="RI"),
+        inp("reqW", sender=AnySender(), bind_sender="j", to="WI"),
+    )
+    for prefix, grant_state in (("RI", "RI3"), ("WI", "WI3")):
+        home.state(
+            prefix,
+            out("inv", target=VarTarget("o"), to=f"{prefix}2"),
+            inp("LR", sender=VarSender("o"), bind_value="mem",
+                to=grant_state),
+        )
+        home.state(
+            f"{prefix}2",
+            inp("LR", sender=VarSender("o"), bind_value="mem",
+                to=grant_state),
+            inp("ID", sender=VarSender("o"), bind_value="mem",
+                to=grant_state),
+        )
+    home.state("RI3", out("grR", target=VarTarget("j"), payload=grant,
+                          update=lambda env: env.update(
+                              {"S": frozenset({env["j"]}),
+                               "o": None, "j": None}),
+                          to="Sh"))
+    home.state("WI3", out("grW", target=VarTarget("j"), payload=grant,
+                          update=lambda env: env.update({"o": env["j"],
+                                                         "j": None}),
+                          to="E"))
+
+    # -- remote ----------------------------------------------------------------
+    remote = ProcessBuilder.remote("invalidate-remote", d=initial_data())
+    remote.state(
+        "I",
+        tau("wantR", to="I.r"),
+        tau("wantW", to="I.w"),
+    )
+    remote.state("I.r", out("reqR", to="I.grR"))
+    remote.state("I.grR", inp("grR", bind_value="d", to="S"))
+    remote.state("I.w", out("reqW", to="I.grW"))
+    remote.state("I.grW", inp("grW", bind_value="d", to="M"))
+
+    remote.state(
+        "S",
+        tau("evict", to="S.ev"),
+        inp("invS", to="S.ia"),
+    )
+    remote.state("S.ev",
+                 out("evS", update=lambda env: env.set("d", initial_data()),
+                     to="I"))
+    remote.state("S.ia",
+                 out("IA", update=lambda env: env.set("d", initial_data()),
+                     to="I"))
+
+    write_guards = []
+    if not abstract:
+        write_guards.append(
+            tau("write", to="M",
+                update=lambda env: env.set("d", (env["d"] + 1) % data_values)))
+    remote.state(
+        "M",
+        tau("evict", to="M.lr"),
+        inp("inv", to="M.id"),
+        *write_guards,
+    )
+    remote.state("M.lr",
+                 out("LR", payload=lambda env: env["d"],
+                     update=lambda env: env.set("d", initial_data()), to="I"))
+    remote.state("M.id",
+                 out("ID", payload=lambda env: env["d"],
+                     update=lambda env: env.set("d", initial_data()), to="I"))
+
+    return validate_protocol(protocol("invalidate", home, remote))

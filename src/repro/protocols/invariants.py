@@ -1,0 +1,151 @@
+"""Coherence invariants for the protocol library.
+
+The paper verifies its protocols with SPIN but does not spell out the
+checked properties; these are the standard cache-coherence safety
+conditions, phrased so that one definition works at *both* semantic levels:
+
+* **Single writer** — at most one remote node holds the line with write
+  permission.
+* **SWMR** (single-writer / multiple-reader) — no remote holds write
+  permission while another holds read permission.
+* **Owner consistency** — when the home believes the line is out
+  (``o`` set), the recorded owner is a valid node id.
+
+"Holding" needs care at the asynchronous level: a node that has *sent*
+``LR``/``ID`` (it is transient, waiting for the ack) no longer has the
+data, so only nodes whose mode is idle count as holders.  At the rendezvous
+level every node is conceptually idle, so the same predicate applies.
+
+Library-level structural invariants (buffer capacity, handshake
+discipline) are included for the asynchronous level; they double as
+failure-injection targets in the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..semantics.asynchronous import AsyncState, IDLE
+from ..semantics.network import ACK, NACK, REPL
+
+__all__ = [
+    "CoherenceSpec",
+    "MIGRATORY_SPEC",
+    "INVALIDATE_SPEC",
+    "MSI_SPEC",
+    "MESI_SPEC",
+    "holders",
+    "coherence_invariants",
+    "async_structural_invariants",
+]
+
+Invariant = tuple[str, Callable[[Any], bool]]
+
+
+@dataclass(frozen=True)
+class CoherenceSpec:
+    """Which remote control states constitute holding a permission.
+
+    State names refer to the *rendezvous* AST; both semantic levels expose
+    them unchanged.  ``exclusive`` states hold the (only) writable copy —
+    including post-eviction staging states where the data has not left the
+    node yet; ``shared`` states hold read-only copies.
+    """
+
+    name: str
+    exclusive: frozenset[str]
+    shared: frozenset[str] = frozenset()
+
+
+MIGRATORY_SPEC = CoherenceSpec(
+    name="migratory",
+    exclusive=frozenset({"V", "V.lr", "V.id"}),
+)
+
+INVALIDATE_SPEC = CoherenceSpec(
+    name="invalidate",
+    exclusive=frozenset({"M", "M.lr", "M.id"}),
+    shared=frozenset({"S", "S.ev", "S.ia"}),
+)
+
+MSI_SPEC = CoherenceSpec(
+    name="msi",
+    exclusive=frozenset({"M", "M.lr", "M.id"}),
+    shared=frozenset({"S", "S.ev", "S.ia", "S.up", "S.grU"}),
+)
+
+# E is writable (it may silently become M), so it counts as exclusive; the
+# downgrade/invalidate response states E.dc/E.ic hold a read-only copy.
+MESI_SPEC = CoherenceSpec(
+    name="mesi",
+    exclusive=frozenset({"E", "M", "E.ev", "M.lr", "M.id", "M.dd"}),
+    shared=frozenset({"S", "S.ev", "S.ia", "E.dc", "E.ic"}),
+)
+
+
+def holders(state: Any, permission_states: frozenset[str]) -> list[int]:
+    """Indices of remotes currently holding one of ``permission_states``.
+
+    Works on both :class:`~repro.semantics.state.RvState` and
+    :class:`~repro.semantics.asynchronous.AsyncState`: at the asynchronous
+    level a transient node has committed to giving the permission up (its
+    request is on the wire), so only idle nodes count.
+    """
+    result = []
+    for i, node in enumerate(state.remotes):
+        if node.state not in permission_states:
+            continue
+        if getattr(node, "mode", IDLE) != IDLE:
+            continue
+        result.append(i)
+    return result
+
+
+def coherence_invariants(spec: CoherenceSpec) -> list[Invariant]:
+    """Single-writer and SWMR invariants for either semantic level."""
+
+    def single_writer(state: Any) -> bool:
+        return len(holders(state, spec.exclusive)) <= 1
+
+    def swmr(state: Any) -> bool:
+        if not spec.shared:
+            return True
+        if not holders(state, spec.exclusive):
+            return True
+        return not holders(state, spec.shared)
+
+    return [
+        (f"{spec.name}: single-writer", single_writer),
+        (f"{spec.name}: no readers while a writer exists", swmr),
+    ]
+
+
+def async_structural_invariants(capacity: int) -> list[Invariant]:
+    """Library-level invariants of the asynchronous semantics itself."""
+
+    def buffer_capacity(state: AsyncState) -> bool:
+        # fire-and-forget notes may transiently exceed k (they can never be
+        # refused); everything else must respect the configured capacity.
+        solid = sum(1 for e in state.home.buffer if not e.note)
+        return solid <= capacity
+
+    def handshake_discipline(state: AsyncState) -> bool:
+        # at most one outstanding ack-like message per directed channel:
+        # the protocols handshake strictly, so two acks in flight on one
+        # channel would mean the semantics double-answered someone.
+        for queue in state.channels.queues:
+            if sum(1 for m in queue if m.kind in (ACK, NACK, REPL)) > 1:
+                return False
+        return True
+
+    def remote_transient_shape(state: AsyncState) -> bool:
+        # a transient remote has an empty buffer (C2 deletes, T3 drops)
+        return all(node.buf is None
+                   for node in state.remotes if node.mode != IDLE)
+
+    return [
+        ("home buffer within capacity", buffer_capacity),
+        ("per-channel handshake discipline", handshake_discipline),
+        ("transient remotes hold no buffered request", remote_transient_shape),
+    ]

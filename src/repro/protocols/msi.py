@@ -1,0 +1,241 @@
+"""MSI protocol with a first-class upgrade transaction (library extension).
+
+The paper's conclusion claims the refinement procedure "applies to large
+classes of DSM protocols"; this module stresses that claim beyond the two
+protocols the paper evaluates.  It extends the invalidate protocol with an
+**upgrade** transaction: a read-sharer that wants to write asks the home to
+invalidate *the other* sharers only, keeping its own copy (no data
+transfer), instead of evicting and re-fetching.
+
+New messages: ``reqU`` (upgrade request, sent from the ``S`` state),
+``grU`` (upgrade grant — no payload, the requester already has the data)
+and ``upfail`` (upgrade denial — sent when the home is already invalidating
+on behalf of another writer; the denied sharer returns to ``S`` and will
+shortly receive that writer's ``invS`` like any other sharer).
+
+The denial path is forced by the rendezvous model itself: a sharer blocked
+in its upgrade request cannot simultaneously accept ``invS`` (remote nodes
+have no output non-determinism), so every home state that can try to
+invalidate sharers must also be able to *consume* a competing ``reqU`` —
+otherwise the rendezvous protocol deadlocks, and the model checker catches
+it immediately.  This is a nice demonstration of the paper's methodology:
+the race shows up (and is fixed) at the small rendezvous level, not in the
+asynchronous jungle.
+
+Fusion note: ``reqU`` is *not* request/reply fusable — its requester waits
+for one of *two* possible answers (``grU``/``upfail``), and section 3.3
+requires a unique reply.  The engine correctly leaves it as a plain
+acked request, while still fusing ``reqR``/``grR``, ``reqW``/``grW``,
+``invS``/``IA`` and ``inv``/``ID`` around it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..csp.ast import DATA, AnySender, SetSender, VarSender, VarTarget
+from ..csp.builder import ProcessBuilder, inp, out, protocol, tau
+from ..csp.validate import validate_protocol
+
+__all__ = ["msi_protocol", "MSI_MSGS"]
+
+#: Message vocabulary of the MSI-with-upgrade protocol.
+MSI_MSGS = ("reqR", "reqW", "reqU", "grR", "grW", "grU", "upfail",
+            "evS", "invS", "IA", "inv", "ID", "LR")
+
+
+def msi_protocol(data_values: Optional[int] = None):
+    """Build the MSI-with-upgrade rendezvous protocol.
+
+    :param data_values: finite data domain size, or ``None`` for abstract
+        payloads (as in :func:`repro.protocols.invalidate.invalidate_protocol`).
+    """
+    abstract = data_values is None
+
+    def initial_data():
+        return DATA if abstract else 0
+
+    home = ProcessBuilder.home(
+        "msi-home",
+        o=None, j=None, t=None, t0=None, u=None, S=frozenset(),
+        mem=initial_data())
+    grant = lambda env: env["mem"]
+
+    def add_sharer(var: str):
+        return lambda env: env.update(
+            {"S": env["S"] | frozenset({env[var]}), var: None})
+
+    def drop_sharer(var: str):
+        return lambda env: env.set("S", env["S"] - frozenset({env[var]}))
+
+    # -- free ------------------------------------------------------------------
+    home.state(
+        "F",
+        inp("reqR", sender=AnySender(), bind_sender="j", to="F.gr"),
+        inp("reqW", sender=AnySender(), bind_sender="j", to="F.grw"),
+    )
+    home.state("F.gr", out("grR", target=VarTarget("j"), payload=grant,
+                           update=add_sharer("j"), to="Sh"))
+    home.state("F.grw", out("grW", target=VarTarget("j"), payload=grant,
+                            update=lambda env: env.update({"o": env["j"],
+                                                           "j": None}),
+                            to="E"))
+
+    # -- shared ------------------------------------------------------------------
+    home.state(
+        "Sh",
+        inp("reqR", sender=AnySender(), bind_sender="j", to="Sh.gr"),
+        inp("evS", sender=SetSender("S"), bind_sender="t",
+            update=drop_sharer("t"), to="Sh.chk"),
+        inp("reqW", sender=AnySender(), bind_sender="j", to="W.chk"),
+        inp("reqU", sender=SetSender("S"), bind_sender="j", to="U.chk"),
+    )
+    home.state("Sh.gr", out("grR", target=VarTarget("j"), payload=grant,
+                            update=add_sharer("j"), to="Sh"))
+    home.state(
+        "Sh.chk",
+        tau("empty", cond=lambda env: not env["S"], to="F"),
+        tau("nonempty", cond=lambda env: bool(env["S"]), to="Sh"),
+    )
+
+    # -- invalidation loops -------------------------------------------------------
+    # W.*: invalidate everyone, writer is outside the sharer set.
+    # U.*: invalidate everyone except the upgrading sharer j.
+    def build_loop(prefix: str, victims):
+        """victims(env) -> frozenset of sharers still to invalidate."""
+        home.state(
+            f"{prefix}.chk",
+            tau("done", cond=lambda env: not victims(env),
+                to=f"{prefix}.grant"),
+            tau("more", cond=lambda env: bool(victims(env)),
+                update=lambda env: env.set("t0", min(victims(env))),
+                to=f"{prefix}.send"),
+        )
+        home.state(
+            f"{prefix}.send",
+            out("invS", target=VarTarget("t0"), to=f"{prefix}.wait"),
+            inp("evS", sender=SetSender("S"), bind_sender="t",
+                update=drop_sharer("t"), to=f"{prefix}.chk"),
+            inp("reqU", sender=SetSender("S"), bind_sender="u",
+                to=f"{prefix}.send.deny"),
+        )
+        home.state(f"{prefix}.send.deny",
+                   out("upfail", target=VarTarget("u"),
+                       update=lambda env: env.set("u", None),
+                       to=f"{prefix}.chk"))
+        home.state(
+            f"{prefix}.wait",
+            inp("IA", sender=VarSender("t0"),
+                update=lambda env: env.update(
+                    {"S": env["S"] - frozenset({env["t0"]}), "t0": None}),
+                to=f"{prefix}.chk"),
+            inp("evS", sender=SetSender("S"), bind_sender="t",
+                update=drop_sharer("t"), to=f"{prefix}.wait"),
+            inp("reqU", sender=SetSender("S"), bind_sender="u",
+                to=f"{prefix}.wait.deny"),
+        )
+        home.state(f"{prefix}.wait.deny",
+                   out("upfail", target=VarTarget("u"),
+                       update=lambda env: env.set("u", None),
+                       to=f"{prefix}.wait"))
+
+    build_loop("W", victims=lambda env: env["S"])
+    build_loop("U", victims=lambda env: env["S"] - frozenset({env["j"]}))
+
+    home.state("W.grant", out("grW", target=VarTarget("j"), payload=grant,
+                              update=lambda env: env.update({"o": env["j"],
+                                                             "j": None}),
+                              to="E"))
+    home.state("U.grant", out("grU", target=VarTarget("j"),
+                              update=lambda env: env.update(
+                                  {"o": env["j"], "j": None,
+                                   "S": frozenset()}),
+                              to="E"))
+
+    # -- exclusive -------------------------------------------------------------
+    home.state(
+        "E",
+        inp("LR", sender=VarSender("o"), bind_value="mem",
+            update=lambda env: env.set("o", None), to="F"),
+        inp("reqR", sender=AnySender(), bind_sender="j", to="RI"),
+        inp("reqW", sender=AnySender(), bind_sender="j", to="WI"),
+    )
+    for prefix, grant_state in (("RI", "RI3"), ("WI", "WI3")):
+        home.state(
+            prefix,
+            out("inv", target=VarTarget("o"), to=f"{prefix}2"),
+            inp("LR", sender=VarSender("o"), bind_value="mem",
+                to=grant_state),
+        )
+        home.state(
+            f"{prefix}2",
+            inp("LR", sender=VarSender("o"), bind_value="mem",
+                to=grant_state),
+            inp("ID", sender=VarSender("o"), bind_value="mem",
+                to=grant_state),
+        )
+    home.state("RI3", out("grR", target=VarTarget("j"), payload=grant,
+                          update=lambda env: env.update(
+                              {"S": frozenset({env["j"]}),
+                               "o": None, "j": None}),
+                          to="Sh"))
+    home.state("WI3", out("grW", target=VarTarget("j"), payload=grant,
+                          update=lambda env: env.update({"o": env["j"],
+                                                         "j": None}),
+                          to="E"))
+
+    # -- remote -------------------------------------------------------------------
+    remote = ProcessBuilder.remote("msi-remote", d=initial_data())
+    remote.state(
+        "I",
+        tau("wantR", to="I.r"),
+        tau("wantW", to="I.w"),
+    )
+    remote.state("I.r", out("reqR", to="I.grR"))
+    remote.state("I.grR", inp("grR", bind_value="d", to="S"))
+    remote.state("I.w", out("reqW", to="I.grW"))
+    remote.state("I.grW", inp("grW", bind_value="d", to="M"))
+
+    remote.state(
+        "S",
+        tau("evict", to="S.ev"),
+        tau("wantUp", to="S.up"),
+        inp("invS", to="S.ia"),
+    )
+    remote.state("S.ev",
+                 out("evS", update=lambda env: env.set("d", initial_data()),
+                     to="I"))
+    remote.state("S.ia",
+                 out("IA", update=lambda env: env.set("d", initial_data()),
+                     to="I"))
+    remote.state("S.up", out("reqU", to="S.grU"))
+    # No invS guard is needed in S.grU: once the home has acked reqU it is
+    # committed to answer with grU or upfail before invalidating us (the
+    # U-loop skips the upgrader; the deny states reply immediately), and
+    # an invS racing the reqU is absorbed by the transient-drop/implicit-
+    # nack rules.  The model checker confirms no deadlock without it.
+    remote.state(
+        "S.grU",
+        inp("grU", to="M"),
+        inp("upfail", to="S"),
+    )
+
+    write_guards = []
+    if not abstract:
+        write_guards.append(
+            tau("write", to="M",
+                update=lambda env: env.set("d", (env["d"] + 1) % data_values)))
+    remote.state(
+        "M",
+        tau("evict", to="M.lr"),
+        inp("inv", to="M.id"),
+        *write_guards,
+    )
+    remote.state("M.lr",
+                 out("LR", payload=lambda env: env["d"],
+                     update=lambda env: env.set("d", initial_data()), to="I"))
+    remote.state("M.id",
+                 out("ID", payload=lambda env: env["d"],
+                     update=lambda env: env.set("d", initial_data()), to="I"))
+
+    return validate_protocol(protocol("msi", home, remote))

@@ -1,0 +1,47 @@
+"""Symmetry declarations for the library protocols.
+
+Which home variables hold remote identities (see
+:mod:`repro.check.symmetry` for why this cannot be inferred).  Remote-node
+environments in this library are id-free by construction, so only the home
+side needs declaring.
+"""
+
+from __future__ import annotations
+
+from ..check.symmetry import SymmetrySpec
+
+__all__ = ["MIGRATORY_SYMMETRY", "INVALIDATE_SYMMETRY", "MSI_SYMMETRY",
+           "MESI_SYMMETRY", "symmetry_spec_for"]
+
+MIGRATORY_SYMMETRY = SymmetrySpec(id_vars=frozenset({"o", "j"}))
+
+INVALIDATE_SYMMETRY = SymmetrySpec(
+    id_vars=frozenset({"o", "j", "t", "t0"}),
+    set_vars=frozenset({"S"}),
+)
+
+MSI_SYMMETRY = SymmetrySpec(
+    id_vars=frozenset({"o", "j", "t", "t0", "u"}),
+    set_vars=frozenset({"S"}),
+)
+
+MESI_SYMMETRY = SymmetrySpec(
+    id_vars=frozenset({"o", "j", "t", "t0"}),
+    set_vars=frozenset({"S"}),
+)
+
+_BY_NAME = {
+    "migratory": MIGRATORY_SYMMETRY,
+    "invalidate": INVALIDATE_SYMMETRY,
+    "msi": MSI_SYMMETRY,
+    "mesi": MESI_SYMMETRY,
+}
+
+
+def symmetry_spec_for(protocol_name: str) -> SymmetrySpec:
+    try:
+        return _BY_NAME[protocol_name]
+    except KeyError:
+        raise KeyError(
+            f"no symmetry spec for protocol {protocol_name!r}; declare the "
+            "home's id-typed variables in a SymmetrySpec") from None

@@ -1,0 +1,162 @@
+"""The abstraction function ``abs`` of paper section 4.
+
+``abs`` maps every asynchronous global state to a rendezvous global state
+by erasing the machinery the refinement introduced:
+
+1. every *request for rendezvous* in the medium or in a buffer is
+   discarded, and its sender's transient state is rewound to the
+   communication state it came from ("as though the request was never
+   sent");
+2. every *ack* in the medium is discarded and its target fast-forwarded to
+   the state it will reach on consuming the ack (the rendezvous is treated
+   as already complete — both parties have committed);
+3. every *nack* is discarded, rewinding its target to its communication
+   state.
+
+Fused request/reply pairs (section 3.3) add one genuinely new situation the
+paper folds into rule 2 ("a repl message is treated as an ack"): between
+the responder consuming the un-acked request and emitting the reply,
+*nothing* for the requester is in flight.  The requester is then
+**half-forwarded** — advanced past the request rendezvous to the
+intermediate state whose sole pending offer is the reply input — which is a
+legal rendezvous-level state (the request rendezvous happened; the reply
+rendezvous has not).  The in-flight ``REPL`` itself fast-forwards the
+requester through both rendezvous.
+
+Fire-and-forget notifications (the hand-designed-protocol extension) are
+*not* covered: the sender commits while the receiver may be arbitrarily far
+from consuming, and no finite fast-forward reproduces a rendezvous state.
+``abs`` raises :class:`AbstractionUndefined` for such states — this is
+precisely the formal reason the paper's procedure keeps the LR ack that the
+hand-designed Avalanche protocol drops, and the hand protocol is instead
+validated by direct invariant/progress checking.
+"""
+
+from __future__ import annotations
+
+from ..csp.ast import Output
+from ..errors import ReproError
+from ..semantics.asynchronous import AsyncState, AsyncSystem, TRANS
+from ..semantics.network import ACK, NACK, NOTE, REPL, REQ, Channels, Msg
+from ..semantics.state import ProcState, RvState
+
+__all__ = ["AbstractionUndefined", "abstract_state"]
+
+
+class AbstractionUndefined(ReproError):
+    """``abs`` is not defined for this state (fire-and-forget in flight)."""
+
+
+def abstract_state(system: AsyncSystem, state: AsyncState) -> RvState:
+    """Apply the section 4 abstraction function to one asynchronous state."""
+    _reject_notes(state)
+    remotes = tuple(
+        _abstract_remote(system, state, i) for i in range(system.n_remotes))
+    home = _abstract_home(system, state)
+    return RvState(home=home, remotes=remotes)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _reject_notes(state: AsyncState) -> None:
+    for _i, _direction, msg in state.channels.in_flight():
+        if msg.kind == NOTE:
+            raise AbstractionUndefined(
+                "fire-and-forget message in flight; abs is only defined for "
+                "protocols refined by the paper's (acknowledged) rules")
+    if any(entry.note for entry in state.home.buffer):
+        raise AbstractionUndefined(
+            "fire-and-forget message buffered at home; abs undefined")
+
+
+def _abstract_remote(system: AsyncSystem, state: AsyncState,
+                     i: int) -> ProcState:
+    node = state.remotes[i]
+    if node.mode != TRANS:
+        return ProcState(state=node.state, env=node.env)
+
+    out_guard = system.protocol.remote.state(node.state).outputs[
+        node.pending_out or 0]
+    down = state.channels.queues[Channels.to_remote(i)]
+
+    ack = _find_kind(down, ACK)
+    if ack is not None:
+        # rule 2: fast-forward through the completed rendezvous
+        return ProcState(state=out_guard.to,
+                         env=out_guard.apply_update(node.env))
+    repl = _find_kind(down, REPL)
+    if repl is not None:
+        return _forward_through_reply(system, node.env, out_guard, repl,
+                                      sender=-1, process=system.protocol.remote)
+    if _request_outstanding(system, state, i, out_guard):
+        # rule 1/3: the request is still pending (or was nacked): rewind
+        return ProcState(state=node.state, env=node.env)
+    if out_guard.msg in system.plan.remote_fused_requests:
+        # fused request already consumed by the home, reply not yet sent:
+        # half-forward to the intermediate reply-waiting state
+        return ProcState(state=out_guard.to,
+                         env=out_guard.apply_update(node.env))
+    raise AbstractionUndefined(
+        f"remote r{i} transient on {out_guard.msg!r} with no witness "
+        "message anywhere — semantics bug")
+
+
+def _abstract_home(system: AsyncSystem, state: AsyncState) -> ProcState:
+    home = state.home
+    if home.mode != TRANS:
+        return ProcState(state=home.state, env=home.env)
+
+    assert home.awaiting is not None
+    i = home.awaiting
+    out_guard = system.protocol.home.state(home.state).outputs[
+        home.pending_out or 0]
+    up = state.channels.queues[Channels.to_home(i)]
+
+    ack = _find_kind(up, ACK)
+    if ack is not None:
+        return ProcState(state=out_guard.to,
+                         env=out_guard.apply_update(home.env))
+    repl = _find_kind(up, REPL)
+    if repl is not None:
+        return _forward_through_reply(system, home.env, out_guard, repl,
+                                      sender=i, process=system.protocol.home)
+    # request still in flight toward the remote, dropped by a transient
+    # remote, or nacked: in all cases rule 1/3 rewinds the home.
+    return ProcState(state=home.state, env=home.env)
+
+
+def _forward_through_reply(system: AsyncSystem, env, out_guard: Output,
+                           repl: Msg, sender: int, process) -> ProcState:
+    """Fast-forward through a fused pair: request update, then reply input."""
+    env = out_guard.apply_update(env)
+    mid = process.state(out_guard.to)
+    for guard in mid.inputs:
+        if guard.msg == repl.msg and guard.accepts(env, sender, repl.payload):
+            return ProcState(state=guard.to,
+                             env=guard.complete(env, sender, repl.payload))
+    raise AbstractionUndefined(
+        f"no input guard in {mid.name!r} accepts the in-flight reply "
+        f"{repl.describe()}")
+
+
+def _request_outstanding(system: AsyncSystem, state: AsyncState, i: int,
+                         out_guard: Output) -> bool:
+    """Is remote ``i``'s request still pending (medium, buffer, or nacked)?"""
+    up = state.channels.queues[Channels.to_home(i)]
+    down = state.channels.queues[Channels.to_remote(i)]
+    if any(m.kind == REQ and m.msg == out_guard.msg for m in up):
+        return True
+    if any(e.sender == i and e.msg == out_guard.msg and not e.note
+           for e in state.home.buffer):
+        return True
+    if _find_kind(down, NACK) is not None:
+        return True
+    return False
+
+
+def _find_kind(queue: tuple[Msg, ...], kind: str) -> Msg | None:
+    for msg in queue:
+        if msg.kind == kind:
+            return msg
+    return None

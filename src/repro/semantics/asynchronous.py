@@ -1,0 +1,804 @@
+"""Operational semantics of refined (asynchronous) protocols.
+
+This module executes a :class:`~repro.refine.plan.RefinedProtocol` — the
+output of the paper's refinement procedure — implementing Tables 1 and 2
+verbatim:
+
+**Remote node (Table 1).**  One buffer slot for a request from home.
+
+* C1/C2 — in an active communication state, send a request for rendezvous
+  and enter a transient state; a pending buffered home request is deleted
+  (the home will treat our request as an *implicit nack* for it).
+* C3 — in a passive communication state, a buffered home request that
+  satisfies a guard is acked (completing the rendezvous); otherwise nacked.
+* T1/T2 — in the transient state, an ack completes the rendezvous; a nack
+  triggers an immediate retransmission.
+* T3 — a request from home arriving in a transient state is dropped.
+
+**Home node (Table 2).**  A k >= 2 slot buffer whose last free slot is
+reserved for requests that can complete a rendezvous in the current state
+(*progress buffer*), plus one more slot reserved while in a transient state
+for the awaited remote's message (*ack buffer*).
+
+* C1 — complete a rendezvous with a satisfying buffered request (ack it).
+* C2 — otherwise, pick the next output guard (cyclic scan, resumed after
+  nacks), reserve the ack buffer (nacking a buffered request if needed —
+  they are all non-satisfying here, or C1 would have fired), send a request
+  and go transient.
+* T1/T2 — ack completes; nack returns to the communication state and the
+  scan moves to the next output guard.
+* T3 — a request from the awaited remote is an implicit nack; it takes the
+  reserved ack-buffer slot and the home returns to the communication state.
+* T4/T5/T6 — other remotes' requests are buffered if >2 slots are free,
+  buffered into the progress slot if exactly 2 are free *and* satisfying,
+  and nacked otherwise.
+
+The section 3.3 request/reply fusion and the fire-and-forget extension
+(hand-designed-protocol modelling) alter only which acknowledgements are
+exchanged; see :mod:`repro.refine.reqreply` for the static side.
+
+Design note: process decisions (which guard to fire) are *deterministic*
+given the local view, as in a real protocol implementation; all remaining
+nondeterminism — message delivery interleaving and autonomous tau choices —
+is enumerated by :meth:`AsyncSystem.successors`, which is what the model
+checker explores.  The discrete-event simulator drives the same transition
+core through :meth:`AsyncSystem.steps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from ..csp.ast import Input, Output, ProcessDef, Protocol, StateDef
+from ..csp.env import Env, Value
+from ..errors import SemanticsError
+from ..refine.plan import RefinedProtocol
+from .network import ACK, NACK, NOTE, REPL, REQ, Channels, Msg
+from .rendezvous import RendezvousStep
+from .state import HOME_ID, ProcId
+
+__all__ = [
+    "IDLE",
+    "TRANS",
+    "BufEntry",
+    "HomeNode",
+    "RemoteNode",
+    "AsyncState",
+    "DeliverToHome",
+    "DeliverToRemote",
+    "HomeStep",
+    "HomeTau",
+    "RemoteSend",
+    "RemoteC3",
+    "RemoteTau",
+    "AsyncAction",
+    "Step",
+    "AsyncSystem",
+]
+
+IDLE = "idle"
+TRANS = "trans"
+
+
+# ---------------------------------------------------------------------------
+# state containers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BufEntry:
+    """One buffered request: who sent it, what rendezvous it asks for."""
+
+    sender: ProcId
+    msg: str
+    payload: Value = None
+    note: bool = False  # fire-and-forget entry: cannot be nacked or evicted
+
+    def describe(self) -> str:
+        who = "h" if self.sender == HOME_ID else f"r{self.sender}"
+        tag = "~" if self.note else ""
+        return f"{tag}{who}:{self.msg}"
+
+
+@dataclass(frozen=True)
+class HomeNode:
+    """Home-side control: AST state + refinement bookkeeping + buffer."""
+
+    state: str
+    env: Env
+    mode: str = IDLE
+    #: cyclic-scan position for the C2 output-guard rotation (row T2)
+    out_idx: int = 0
+    #: remote we are awaiting an ack/nack/reply from (mode == TRANS)
+    awaiting: Optional[int] = None
+    #: index (into the state's outputs tuple) of the pending output guard
+    pending_out: Optional[int] = None
+    buffer: tuple[BufEntry, ...] = ()
+
+    def describe(self) -> str:
+        tag = self.state if self.mode == IDLE else \
+            f"{self.state}→r{self.awaiting}?"
+        buf = ",".join(e.describe() for e in self.buffer)
+        return f"{tag}{{{buf}}}"
+
+
+@dataclass(frozen=True)
+class RemoteNode:
+    """Remote-side control: AST state + transient flag + 1-slot buffer."""
+
+    state: str
+    env: Env
+    mode: str = IDLE
+    pending_out: Optional[int] = None
+    buf: Optional[BufEntry] = None
+
+    def describe(self) -> str:
+        tag = self.state if self.mode == IDLE else f"{self.state}*"
+        return tag + (f"{{{self.buf.describe()}}}" if self.buf else "")
+
+
+@dataclass(frozen=True)
+class AsyncState:
+    """Global asynchronous state: all nodes plus the network."""
+
+    home: HomeNode
+    remotes: tuple[RemoteNode, ...]
+    channels: Channels
+
+    def with_home(self, home: HomeNode) -> "AsyncState":
+        return replace(self, home=home)
+
+    def with_remote(self, i: int, node: RemoteNode) -> "AsyncState":
+        remotes = list(self.remotes)
+        remotes[i] = node
+        return replace(self, remotes=tuple(remotes))
+
+    def with_channels(self, channels: Channels) -> "AsyncState":
+        return replace(self, channels=channels)
+
+    def describe(self) -> str:
+        remotes = " ".join(f"r{i}:{r.describe()}"
+                           for i, r in enumerate(self.remotes))
+        return (f"h:{self.home.describe()} {remotes} "
+                f"net:{self.channels.describe()}")
+
+
+# ---------------------------------------------------------------------------
+# actions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeliverToHome:
+    """Deliver the head of remote(i) -> home channel."""
+
+    remote: int
+
+    def describe(self) -> str:
+        return f"deliver r{self.remote}→h"
+
+
+@dataclass(frozen=True)
+class DeliverToRemote:
+    """Deliver the head of home -> remote(i) channel."""
+
+    remote: int
+
+    def describe(self) -> str:
+        return f"deliver h→r{self.remote}"
+
+
+@dataclass(frozen=True)
+class HomeStep:
+    """The home's (deterministic) communication-state decision.
+
+    ``kind`` is ``"C1"`` (complete a buffered rendezvous), ``"C2"`` (send a
+    request and go transient) or ``"REPLY"`` (emit a fused reply).
+    """
+
+    kind: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        return f"home.{self.kind}" + (f"({self.detail})" if self.detail else "")
+
+
+@dataclass(frozen=True)
+class HomeTau:
+    label: str
+
+    def describe(self) -> str:
+        return f"home.τ:{self.label}"
+
+
+@dataclass(frozen=True)
+class RemoteSend:
+    """Remote ``i`` goes active: rows C1/C2 of Table 1 (or a NOTE send)."""
+
+    remote: int
+
+    def describe(self) -> str:
+        return f"r{self.remote}.send"
+
+
+@dataclass(frozen=True)
+class RemoteC3:
+    """Remote ``i`` processes the buffered home request (row C3)."""
+
+    remote: int
+
+    def describe(self) -> str:
+        return f"r{self.remote}.C3"
+
+
+@dataclass(frozen=True)
+class RemoteTau:
+    remote: int
+    label: str
+
+    def describe(self) -> str:
+        return f"r{self.remote}.τ:{self.label}"
+
+
+AsyncAction = (DeliverToHome | DeliverToRemote | HomeStep | HomeTau
+               | RemoteSend | RemoteC3 | RemoteTau)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One enabled transition with its observables.
+
+    ``completes`` lists rendezvous that *finish* on this step (each
+    rendezvous of the underlying protocol is reported exactly once, at the
+    moment its second party commits).  ``sends`` lists messages injected
+    into the network by this step, for message-count metrics.
+    """
+
+    action: AsyncAction
+    state: AsyncState
+    completes: tuple[RendezvousStep, ...] = ()
+    sends: tuple[Msg, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# the system
+# ---------------------------------------------------------------------------
+
+
+class AsyncSystem:
+    """Executable asynchronous semantics for a refined protocol."""
+
+    def __init__(self, refined: RefinedProtocol, n_remotes: int) -> None:
+        if n_remotes < 1:
+            raise SemanticsError("need at least one remote node")
+        self.refined = refined
+        self.protocol: Protocol = refined.protocol
+        self.plan = refined.plan
+        self.n_remotes = n_remotes
+        self.capacity = self.plan.config.home_buffer_capacity
+        self._reply_of = dict(self.plan.reply_of)
+
+    # -- construction --------------------------------------------------------
+
+    def initial_state(self) -> AsyncState:
+        home = HomeNode(state=self.protocol.home.initial_state,
+                        env=self.protocol.home.initial_env)
+        remote = RemoteNode(state=self.protocol.remote.initial_state,
+                            env=self.protocol.remote.initial_env)
+        return AsyncState(home=home, remotes=(remote,) * self.n_remotes,
+                          channels=Channels.empty(self.n_remotes))
+
+    # -- public enumeration API ----------------------------------------------
+
+    def steps(self, state: AsyncState) -> list[Step]:
+        """All enabled transitions, with completion/send observables."""
+        out: list[Step] = []
+        for i in range(self.n_remotes):
+            if state.channels.head_to_home(i) is not None:
+                out.append(self._deliver_to_home(state, i))
+            if state.channels.head_to_remote(i) is not None:
+                out.append(self._deliver_to_remote(state, i))
+        home_step = self._home_decision(state)
+        if home_step is not None:
+            out.append(home_step)
+        out.extend(self._home_taus(state))
+        for i in range(self.n_remotes):
+            out.extend(self._remote_steps(state, i))
+        return out
+
+    def successors(self, state: AsyncState) -> list[tuple[AsyncAction, AsyncState]]:
+        return [(s.action, s.state) for s in self.steps(state)]
+
+    def apply(self, state: AsyncState, action: AsyncAction) -> AsyncState:
+        for step in self.steps(state):
+            if step.action == action:
+                return step.state
+        raise SemanticsError(f"action {action!r} not enabled")
+
+    # -- home: message delivery ----------------------------------------------
+
+    def _deliver_to_home(self, state: AsyncState, i: int) -> Step:
+        msg, channels = state.channels.pop(Channels.to_home(i))
+        base = state.with_channels(channels)
+        action = DeliverToHome(remote=i)
+        home = base.home
+
+        if msg.kind == REQ:
+            return self._home_receive_request(base, i, msg, action)
+
+        if msg.kind == NOTE:
+            # fire-and-forget notification: always enters the buffer (the
+            # sender has moved on and can never be nacked).
+            assert msg.msg is not None
+            entry = BufEntry(sender=i, msg=msg.msg, payload=msg.payload,
+                             note=True)
+            new_home = replace(home, buffer=home.buffer + (entry,))
+            return Step(action=action, state=base.with_home(new_home))
+
+        # ACK / NACK / REPL are only meaningful in a transient state
+        # awaiting this remote (rows T1-T2); anything else is a protocol or
+        # library bug.
+        if home.mode != TRANS or home.awaiting != i:
+            raise SemanticsError(
+                f"home received {msg.describe()} from r{i} but is not "
+                f"awaiting it (state {home.describe()})")
+        out_guard = self._home_pending_output(home)
+
+        if msg.kind == NACK:  # row T2
+            new_home = replace(
+                home, mode=IDLE, awaiting=None, pending_out=None,
+                out_idx=self._next_out_idx(self.protocol.home, home))
+            return Step(action=action, state=base.with_home(new_home))
+
+        if msg.kind == ACK:  # row T1
+            env = out_guard.apply_update(home.env)
+            new_home = HomeNode(state=out_guard.to, env=env, mode=IDLE,
+                                out_idx=0, buffer=home.buffer)
+            completes = (RendezvousStep(active=HOME_ID, passive=i,
+                                        msg=out_guard.msg,
+                                        payload=out_guard.eval_payload(home.env)),)
+            return Step(action=action, state=base.with_home(new_home),
+                        completes=completes)
+
+        if msg.kind == REPL:  # fused reply: completes request + reply
+            reply_msg = self._reply_of.get(out_guard.msg)
+            if reply_msg is None or msg.msg != reply_msg:
+                raise SemanticsError(
+                    f"home got unexpected reply {msg.describe()} while "
+                    f"awaiting the reply to {out_guard.msg!r}")
+            request_payload = out_guard.eval_payload(home.env)
+            env = out_guard.apply_update(home.env)
+            mid_state = self.protocol.home.state(out_guard.to)
+            in_guard = self._find_input(mid_state, reply_msg, env, i,
+                                        msg.payload, "home")
+            env = in_guard.complete(env, i, msg.payload)
+            new_home = HomeNode(state=in_guard.to, env=env, mode=IDLE,
+                                out_idx=0, buffer=home.buffer)
+            completes = (
+                RendezvousStep(active=HOME_ID, passive=i, msg=out_guard.msg,
+                               payload=request_payload),
+                RendezvousStep(active=i, passive=HOME_ID, msg=reply_msg,
+                               payload=msg.payload),
+            )
+            return Step(action=action, state=base.with_home(new_home),
+                        completes=completes)
+
+        raise SemanticsError(f"unknown message kind {msg.kind!r}")
+
+    def _home_receive_request(self, base: AsyncState, i: int, msg: Msg,
+                              action: DeliverToHome) -> Step:
+        """Buffering rules: progress/ack reservation, implicit nack (T3-T6)."""
+        home = base.home
+        assert msg.msg is not None
+        entry = BufEntry(sender=i, msg=msg.msg, payload=msg.payload)
+
+        if home.mode == TRANS and home.awaiting == i:
+            # Row T3: implicit nack.  The request takes the reserved
+            # ack-buffer slot and the home re-enters its communication state.
+            new_home = replace(
+                home, mode=IDLE, awaiting=None, pending_out=None,
+                out_idx=self._next_out_idx(self.protocol.home, home))
+            if self._free_slots(home) >= 1:
+                new_home = replace(new_home, buffer=new_home.buffer + (entry,))
+                return Step(action=action, state=base.with_home(new_home))
+            if self.plan.config.reserve_ack_buffer:
+                raise SemanticsError(
+                    "ack-buffer reservation violated: home is transient "
+                    f"with a full buffer ({home.describe()})")
+            # ablation: no ack buffer was reserved, so no slot is
+            # guaranteed — the request must be nacked outright.
+            nack = Msg(kind=NACK)
+            channels = base.channels.send_to_remote(i, nack)
+            return Step(action=action,
+                        state=base.with_home(new_home).with_channels(channels),
+                        sends=(nack,))
+
+        satisfies = self._satisfies_current(home, i, msg.msg, msg.payload)
+        reserved = 0
+        if self.plan.config.reserve_progress_buffer and not satisfies:
+            reserved += 1
+        if home.mode == TRANS and self.plan.config.reserve_ack_buffer:
+            reserved += 1
+        if self._free_slots(home) > reserved:
+            new_home = replace(home, buffer=home.buffer + (entry,))
+            return Step(action=action, state=base.with_home(new_home))
+        # rows T6 / the communication-state analogue: nack the request
+        nack = Msg(kind=NACK)
+        channels = base.channels.send_to_remote(i, nack)
+        return Step(action=action, state=base.with_channels(channels),
+                    sends=(nack,))
+
+    # -- home: decisions -------------------------------------------------------
+
+    def _home_decision(self, state: AsyncState) -> Optional[Step]:
+        """Rows C1/C2 of Table 2 plus fused-reply emission (deterministic)."""
+        home = state.home
+        if home.mode != IDLE:
+            return None
+        state_def = self.protocol.home.state(home.state)
+        if not state_def.is_communication:
+            return None
+
+        c1 = self._home_c1(state, state_def)
+        if c1 is not None:
+            return c1
+        return self._home_c2_or_reply(state, state_def)
+
+    def _home_c1(self, state: AsyncState, state_def: StateDef) -> Optional[Step]:
+        home = state.home
+        for pos, entry in enumerate(home.buffer):
+            guard = self._matching_input(state_def, home.env, entry)
+            if guard is None:
+                continue
+            env = guard.complete(home.env, entry.sender, entry.payload)
+            buffer = home.buffer[:pos] + home.buffer[pos + 1:]
+            new_home = HomeNode(state=guard.to, env=env, mode=IDLE,
+                                out_idx=0, buffer=buffer)
+            new_state = state.with_home(new_home)
+            sends: tuple[Msg, ...] = ()
+            completes: tuple[RendezvousStep, ...] = ()
+            assert isinstance(entry.sender, int)
+            if entry.note:
+                # fire-and-forget: consumption is the completion point
+                completes = (RendezvousStep(active=entry.sender,
+                                            passive=HOME_ID, msg=entry.msg,
+                                            payload=entry.payload),)
+            elif entry.msg in self.plan.remote_fused_requests:
+                # fused: no ack; the eventual reply acknowledges it.  The
+                # completion is reported when the requester gets the reply.
+                pass
+            else:
+                ack = Msg(kind=ACK)
+                new_state = new_state.with_channels(
+                    new_state.channels.send_to_remote(entry.sender, ack))
+                sends = (ack,)
+            return Step(action=HomeStep(kind="C1", detail=entry.describe()),
+                        state=new_state, completes=completes, sends=sends)
+        return None
+
+    def _home_c2_or_reply(self, state: AsyncState,
+                          state_def: StateDef) -> Optional[Step]:
+        home = state.home
+        outputs = state_def.outputs
+        if not outputs:
+            return None
+        n = len(outputs)
+        for offset in range(n):
+            idx = (home.out_idx + offset) % n
+            guard = outputs[idx]
+            if not guard.enabled(home.env):
+                continue
+            assert guard.target is not None
+            target = guard.target.eval(home.env)
+            if not 0 <= target < self.n_remotes:
+                raise SemanticsError(
+                    f"home output {guard.describe()} targets r{target}")
+            if guard.msg in self.plan.reply_msgs:
+                return self._home_reply(state, guard, idx, target)
+            if guard.msg in self.plan.fire_and_forget:
+                raise SemanticsError(
+                    "fire-and-forget home outputs are not supported")
+            # condition (c): pointless to request a remote that is itself
+            # actively requesting us
+            if any(e.sender == target and not e.note for e in home.buffer):
+                continue
+            return self._home_c2(state, guard, idx, target)
+        return None
+
+    def _home_reply(self, state: AsyncState, guard: Output, idx: int,
+                    target: int) -> Step:
+        """Emit a fused reply: the requester is waiting, no ack needed."""
+        home = state.home
+        payload = guard.eval_payload(home.env)
+        repl = Msg(kind=REPL, msg=guard.msg, payload=payload)
+        channels = state.channels.send_to_remote(target, repl)
+        new_home = HomeNode(state=guard.to, env=guard.apply_update(home.env),
+                            mode=IDLE, out_idx=0, buffer=home.buffer)
+        return Step(action=HomeStep(kind="REPLY", detail=f"{guard.msg}→r{target}"),
+                    state=state.with_home(new_home).with_channels(channels),
+                    sends=(repl,))
+
+    def _home_c2(self, state: AsyncState, guard: Output, idx: int,
+                 target: int) -> Optional[Step]:
+        """Row C2: allocate the ack buffer, send the request, go transient."""
+        home = state.home
+        channels = state.channels
+        sends: list[Msg] = []
+        buffer = home.buffer
+        if self._free_slots(home) < 1:
+            # free a slot by nacking a buffered request (they are all
+            # non-satisfying here, or C1 would have fired).  NOTE entries
+            # cannot be nacked; if everything is a NOTE we cannot proceed.
+            victim_pos = next((p for p, e in enumerate(buffer) if not e.note),
+                              None)
+            if victim_pos is None:
+                return None
+            victim = buffer[victim_pos]
+            assert isinstance(victim.sender, int)
+            nack = Msg(kind=NACK)
+            channels = channels.send_to_remote(victim.sender, nack)
+            sends.append(nack)
+            buffer = buffer[:victim_pos] + buffer[victim_pos + 1:]
+        req = Msg(kind=REQ, msg=guard.msg, payload=guard.eval_payload(home.env))
+        channels = channels.send_to_remote(target, req)
+        sends.append(req)
+        new_home = replace(home, mode=TRANS, awaiting=target,
+                           pending_out=idx, buffer=buffer)
+        return Step(action=HomeStep(kind="C2", detail=f"{guard.msg}→r{target}"),
+                    state=state.with_home(new_home).with_channels(channels),
+                    sends=tuple(sends))
+
+    def _home_taus(self, state: AsyncState) -> Iterator[Step]:
+        home = state.home
+        if home.mode != IDLE:
+            return
+        state_def = self.protocol.home.state(home.state)
+        if state_def.is_communication:
+            return
+        for guard in state_def.taus:
+            if guard.enabled(home.env):
+                new_home = HomeNode(state=guard.to,
+                                    env=guard.apply_update(home.env),
+                                    mode=IDLE, out_idx=0, buffer=home.buffer)
+                yield Step(action=HomeTau(label=guard.label),
+                           state=state.with_home(new_home))
+
+    # -- remote: message delivery ----------------------------------------------
+
+    def _deliver_to_remote(self, state: AsyncState, i: int) -> Step:
+        msg, channels = state.channels.pop(Channels.to_remote(i))
+        base = state.with_channels(channels)
+        action = DeliverToRemote(remote=i)
+        node = base.remotes[i]
+
+        if msg.kind == REQ:
+            if node.mode == TRANS:
+                # Row T3: ignore requests from home while transient
+                return Step(action=action, state=base)
+            if node.buf is not None:
+                raise SemanticsError(
+                    f"remote r{i} single-slot buffer overflow "
+                    f"({node.describe()} receiving {msg.describe()})")
+            assert msg.msg is not None
+            entry = BufEntry(sender=HOME_ID, msg=msg.msg, payload=msg.payload)
+            return Step(action=action,
+                        state=base.with_remote(i, replace(node, buf=entry)))
+
+        if node.mode != TRANS:
+            raise SemanticsError(
+                f"remote r{i} received {msg.describe()} while not transient")
+        out_guard = self._remote_pending_output(node)
+
+        if msg.kind == NACK:  # row T2: retransmit immediately
+            req_kind = REQ
+            retry = Msg(kind=req_kind, msg=out_guard.msg,
+                        payload=out_guard.eval_payload(node.env))
+            channels2 = base.channels.send_to_home(i, retry)
+            return Step(action=action, state=base.with_channels(channels2),
+                        sends=(retry,))
+
+        if msg.kind == ACK:  # row T1
+            env = out_guard.apply_update(node.env)
+            new_node = RemoteNode(state=out_guard.to, env=env, mode=IDLE)
+            completes = (RendezvousStep(active=i, passive=HOME_ID,
+                                        msg=out_guard.msg,
+                                        payload=out_guard.eval_payload(node.env)),)
+            return Step(action=action, state=base.with_remote(i, new_node),
+                        completes=completes)
+
+        if msg.kind == REPL:
+            reply_msg = self._reply_of.get(out_guard.msg)
+            if reply_msg is None or msg.msg != reply_msg:
+                raise SemanticsError(
+                    f"remote r{i} got unexpected reply {msg.describe()} "
+                    f"while awaiting the reply to {out_guard.msg!r}")
+            request_payload = out_guard.eval_payload(node.env)
+            env = out_guard.apply_update(node.env)
+            mid_state = self.protocol.remote.state(out_guard.to)
+            in_guard = self._find_input(mid_state, reply_msg, env, -1,
+                                        msg.payload, f"remote r{i}")
+            env = in_guard.complete(env, -1, msg.payload)
+            new_node = RemoteNode(state=in_guard.to, env=env, mode=IDLE)
+            completes = (
+                RendezvousStep(active=i, passive=HOME_ID, msg=out_guard.msg,
+                               payload=request_payload),
+                RendezvousStep(active=HOME_ID, passive=i, msg=reply_msg,
+                               payload=msg.payload),
+            )
+            return Step(action=action, state=base.with_remote(i, new_node),
+                        completes=completes)
+
+        raise SemanticsError(f"unknown message kind {msg.kind!r}")
+
+    # -- remote: decisions -------------------------------------------------------
+
+    def _remote_steps(self, state: AsyncState, i: int) -> Iterator[Step]:
+        node = state.remotes[i]
+        if node.mode != IDLE:
+            return
+        state_def = self.protocol.remote.state(node.state)
+        outputs = state_def.outputs
+        if outputs:
+            guard = outputs[0]  # validated: active states have exactly one
+            if guard.enabled(node.env):
+                yield self._remote_send(state, i, guard)
+            return
+        if node.buf is not None and state_def.is_communication:
+            yield self._remote_c3(state, i, state_def)
+        for guard in state_def.taus:
+            if guard.enabled(node.env):
+                new_node = replace(node, state=guard.to,
+                                   env=guard.apply_update(node.env))
+                yield Step(action=RemoteTau(remote=i, label=guard.label),
+                           state=state.with_remote(i, new_node))
+
+    def _remote_send(self, state: AsyncState, i: int, guard: Output) -> Step:
+        """Rows C1/C2 of Table 1 (plus the fire-and-forget extension)."""
+        node = state.remotes[i]
+        payload = guard.eval_payload(node.env)
+        if guard.msg in self.plan.fire_and_forget:
+            note = Msg(kind=NOTE, msg=guard.msg, payload=payload)
+            channels = state.channels.send_to_home(i, note)
+            new_node = RemoteNode(state=guard.to,
+                                  env=guard.apply_update(node.env),
+                                  mode=IDLE, buf=node.buf)
+            return Step(action=RemoteSend(remote=i),
+                        state=state.with_remote(i, new_node)
+                                  .with_channels(channels),
+                        sends=(note,))
+        req = Msg(kind=REQ, msg=guard.msg, payload=payload)
+        channels = state.channels.send_to_home(i, req)
+        # row C2: deleting a pending home request constitutes the implicit
+        # nack — the home will learn of it from our request's arrival.
+        new_node = RemoteNode(state=node.state, env=node.env, mode=TRANS,
+                              pending_out=0, buf=None)
+        return Step(action=RemoteSend(remote=i),
+                    state=state.with_remote(i, new_node)
+                              .with_channels(channels),
+                    sends=(req,))
+
+    def _remote_c3(self, state: AsyncState, i: int,
+                   state_def: StateDef) -> Step:
+        """Row C3: ack a satisfying home request, nack otherwise."""
+        node = state.remotes[i]
+        entry = node.buf
+        assert entry is not None
+        guard = self._matching_input(state_def, node.env, entry)
+        if guard is None:
+            nack = Msg(kind=NACK)
+            channels = state.channels.send_to_home(i, nack)
+            new_node = replace(node, buf=None)
+            return Step(action=RemoteC3(remote=i),
+                        state=state.with_remote(i, new_node)
+                                  .with_channels(channels),
+                        sends=(nack,))
+
+        env = guard.complete(node.env, -1, entry.payload)
+        if entry.msg in self.plan.home_fused_requests:
+            # responder side of a home-initiated fused pair: perform local
+            # actions only, then answer with the reply (which also serves
+            # as the ack of the request).
+            return self._remote_fused_response(state, i, entry, guard, env)
+        ack = Msg(kind=ACK)
+        channels = state.channels.send_to_home(i, ack)
+        new_node = RemoteNode(state=guard.to, env=env, mode=IDLE)
+        completes = (RendezvousStep(active=HOME_ID, passive=i, msg=entry.msg,
+                                    payload=entry.payload),)
+        return Step(action=RemoteC3(remote=i),
+                    state=state.with_remote(i, new_node)
+                              .with_channels(channels),
+                    completes=completes, sends=(ack,))
+
+    def _remote_fused_response(self, state: AsyncState, i: int,
+                               entry: BufEntry, guard: Input,
+                               env: Env) -> Step:
+        cursor = self.protocol.remote.state(guard.to)
+        hops = 0
+        while cursor.is_internal and len(cursor.guards) == 1:
+            tau = cursor.taus[0]
+            if not tau.enabled(env):
+                raise SemanticsError(
+                    f"fused-response local action {tau.describe()} disabled")
+            env = tau.apply_update(env)
+            cursor = self.protocol.remote.state(tau.to)
+            hops += 1
+            if hops > len(self.protocol.remote.states):
+                raise SemanticsError("fused response stuck in internal loop")
+        reply_msg = self._reply_of[entry.msg]
+        if not (len(cursor.guards) == 1
+                and isinstance(cursor.guards[0], Output)
+                and cursor.guards[0].msg == reply_msg):
+            raise SemanticsError(
+                f"fused response: expected sole output {reply_msg!r} "
+                f"in state {cursor.name!r}")
+        out_guard = cursor.guards[0]
+        payload = out_guard.eval_payload(env)
+        repl = Msg(kind=REPL, msg=reply_msg, payload=payload)
+        channels = state.channels.send_to_home(i, repl)
+        new_node = RemoteNode(state=out_guard.to,
+                              env=out_guard.apply_update(env), mode=IDLE)
+        return Step(action=RemoteC3(remote=i),
+                    state=state.with_remote(i, new_node)
+                              .with_channels(channels),
+                    sends=(repl,))
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _free_slots(self, home: HomeNode) -> int:
+        """Free request-buffer slots.
+
+        Fire-and-forget notes do not count against the k-slot request
+        buffer: they can never be refused, so a hand-designed protocol
+        using them implicitly requires *dedicated* buffering for them over
+        and above the paper's k slots (the fairness benchmark measures how
+        much).  Counting them here would instead let a note steal the
+        reserved ack-buffer slot and break the T3 implicit-nack guarantee —
+        which is exactly what happened when this library first model-checked
+        the hand-designed migratory protocol at three nodes.
+        """
+        return self.capacity - sum(1 for e in home.buffer if not e.note)
+
+    def _satisfies_current(self, home: HomeNode, sender: int, msg: str,
+                           payload: Value) -> bool:
+        """Would this request complete a rendezvous in the home's current
+        communication state?  (The progress-buffer criterion.)"""
+        state_def = self.protocol.home.state(home.state)
+        entry = BufEntry(sender=sender, msg=msg, payload=payload)
+        return self._matching_input(state_def, home.env, entry) is not None
+
+    @staticmethod
+    def _matching_input(state_def: StateDef, env: Env,
+                        entry: BufEntry) -> Optional[Input]:
+        sender = entry.sender if isinstance(entry.sender, int) else -1
+        for guard in state_def.inputs:
+            if guard.msg == entry.msg and guard.accepts(env, sender,
+                                                        entry.payload):
+                return guard
+        return None
+
+    def _home_pending_output(self, home: HomeNode) -> Output:
+        if home.pending_out is None:
+            raise SemanticsError("home has no pending output in TRANS mode")
+        return self.protocol.home.state(home.state).outputs[home.pending_out]
+
+    def _remote_pending_output(self, node: RemoteNode) -> Output:
+        if node.pending_out is None:
+            raise SemanticsError("remote has no pending output in TRANS mode")
+        return self.protocol.remote.state(node.state).outputs[node.pending_out]
+
+    def _next_out_idx(self, process: ProcessDef, home: HomeNode) -> int:
+        outputs = process.state(home.state).outputs
+        if not outputs or home.pending_out is None:
+            return 0
+        return (home.pending_out + 1) % len(outputs)
+
+    @staticmethod
+    def _find_input(state_def: StateDef, msg: str, env: Env, sender: int,
+                    payload: Value, who: str) -> Input:
+        for guard in state_def.inputs:
+            if guard.msg == msg and guard.accepts(env, sender, payload):
+                return guard
+        raise SemanticsError(
+            f"{who}: no input guard in state {state_def.name!r} accepts "
+            f"the fused reply {msg!r}")

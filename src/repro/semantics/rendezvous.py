@@ -1,0 +1,252 @@
+"""Operational semantics of rendezvous protocols (the paper's high level).
+
+A rendezvous protocol executes as a closed system of ``1 + n`` processes:
+the home node and ``n`` copies of the remote template, communicating only by
+synchronous rendezvous (CSP-style).  A global transition is either:
+
+* a **tau step** of one process (autonomous decision or internal state), or
+* a **rendezvous**: an enabled Output guard of one process paired with a
+  matching enabled Input guard of its peer; both processes move atomically.
+
+This tiny state space is what the paper proposes users verify; the
+refinement engine then compiles the same AST down to the asynchronous level.
+
+The system object is *pure*: states are immutable values, and
+:meth:`RendezvousSystem.successors` enumerates all interleavings, which is
+exactly the interface the explicit-state explorer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+from ..csp.ast import Input, Output, Protocol, Tau
+from ..csp.env import Value
+from ..errors import SemanticsError
+from .state import HOME_ID, ProcId, ProcState, RvState
+
+__all__ = ["RendezvousAction", "TauStep", "RendezvousStep", "RendezvousSystem"]
+
+
+@dataclass(frozen=True)
+class TauStep:
+    """Process ``proc`` takes the autonomous guard ``label``."""
+
+    proc: ProcId
+    label: str
+
+    def describe(self) -> str:
+        who = "h" if self.proc == HOME_ID else f"r{self.proc}"
+        return f"{who}.τ:{self.label}"
+
+
+@dataclass(frozen=True)
+class RendezvousStep:
+    """A completed rendezvous on message type ``msg``.
+
+    ``active`` executed the Output guard, ``passive`` the Input guard
+    (paper section 2.3 terminology).  One of the two is always the home
+    node; ``remote`` is the remote party's index whichever side it is on.
+    """
+
+    active: ProcId
+    passive: ProcId
+    msg: str
+    payload: Value = None
+
+    @property
+    def remote(self) -> int:
+        party = self.passive if self.active == HOME_ID else self.active
+        assert isinstance(party, int)
+        return party
+
+    def describe(self) -> str:
+        def name(p: ProcId) -> str:
+            return "h" if p == HOME_ID else f"r{p}"
+
+        return f"{name(self.active)}!{self.msg} ⇄ {name(self.passive)}"
+
+
+RendezvousAction = Union[TauStep, RendezvousStep]
+
+
+class RendezvousSystem:
+    """Executable rendezvous semantics for ``protocol`` with ``n`` remotes."""
+
+    def __init__(self, protocol: Protocol, n_remotes: int) -> None:
+        if n_remotes < 1:
+            raise SemanticsError("need at least one remote node")
+        self.protocol = protocol
+        self.n_remotes = n_remotes
+
+    # -- construction -------------------------------------------------------
+
+    def initial_state(self) -> RvState:
+        home = ProcState(self.protocol.home.initial_state,
+                         self.protocol.home.initial_env)
+        remote = ProcState(self.protocol.remote.initial_state,
+                           self.protocol.remote.initial_env)
+        return RvState(home=home, remotes=(remote,) * self.n_remotes)
+
+    # -- transition enumeration ---------------------------------------------
+
+    def actions(self, state: RvState) -> list[RendezvousAction]:
+        return list(self._iter_actions(state))
+
+    def _iter_actions(self, state: RvState) -> Iterator[RendezvousAction]:
+        yield from self._tau_actions(state)
+        yield from self._home_active_rendezvous(state)
+        yield from self._remote_active_rendezvous(state)
+
+    def _tau_actions(self, state: RvState) -> Iterator[TauStep]:
+        home_def = self.protocol.home.state(state.home.state)
+        for guard in home_def.taus:
+            if guard.enabled(state.home.env):
+                yield TauStep(proc=HOME_ID, label=guard.label)
+        for i, proc in enumerate(state.remotes):
+            for guard in self.protocol.remote.state(proc.state).taus:
+                if guard.enabled(proc.env):
+                    yield TauStep(proc=i, label=guard.label)
+
+    def _home_active_rendezvous(self, state: RvState) -> Iterator[RendezvousStep]:
+        home_def = self.protocol.home.state(state.home.state)
+        for guard in home_def.outputs:
+            if not guard.enabled(state.home.env):
+                continue
+            assert guard.target is not None
+            target = guard.target.eval(state.home.env)
+            if not 0 <= target < self.n_remotes:
+                raise SemanticsError(
+                    f"home output {guard.describe()} targets remote "
+                    f"{target}, outside 0..{self.n_remotes - 1}"
+                )
+            remote = state.remotes[target]
+            payload = guard.eval_payload(state.home.env)
+            for r_guard in self.protocol.remote.state(remote.state).inputs:
+                if r_guard.msg == guard.msg and r_guard.accepts(
+                        remote.env, -1, payload):
+                    yield RendezvousStep(active=HOME_ID, passive=target,
+                                         msg=guard.msg, payload=payload)
+                    break  # one matching input is one rendezvous offer
+
+    def _remote_active_rendezvous(self, state: RvState) -> Iterator[RendezvousStep]:
+        home_def = self.protocol.home.state(state.home.state)
+        for i, proc in enumerate(state.remotes):
+            for guard in self.protocol.remote.state(proc.state).outputs:
+                if not guard.enabled(proc.env):
+                    continue
+                payload = guard.eval_payload(proc.env)
+                for h_guard in home_def.inputs:
+                    if h_guard.msg == guard.msg and h_guard.accepts(
+                            state.home.env, i, payload):
+                        yield RendezvousStep(active=i, passive=HOME_ID,
+                                             msg=guard.msg, payload=payload)
+                        break
+
+    # -- transition application ----------------------------------------------
+
+    def apply(self, state: RvState, action: RendezvousAction) -> RvState:
+        if isinstance(action, TauStep):
+            return self._apply_tau(state, action)
+        return self._apply_rendezvous(state, action)
+
+    def _apply_tau(self, state: RvState, action: TauStep) -> RvState:
+        if action.proc == HOME_ID:
+            proc, process_def = state.home, self.protocol.home
+        else:
+            proc, process_def = state.remotes[action.proc], self.protocol.remote
+        guard = self._find_tau(process_def.state(proc.state).taus, action.label,
+                               proc, process_def.name)
+        moved = proc.moved(guard.to, guard.apply_update(proc.env))
+        if action.proc == HOME_ID:
+            return state.with_home(moved)
+        return state.with_remote(action.proc, moved)
+
+    @staticmethod
+    def _find_tau(taus: Iterable[Tau], label: str, proc: ProcState,
+                  process_name: str) -> Tau:
+        for guard in taus:
+            if guard.label == label and guard.enabled(proc.env):
+                return guard
+        raise SemanticsError(
+            f"tau {label!r} not enabled in {process_name}.{proc.state}"
+        )
+
+    def _apply_rendezvous(self, state: RvState, action: RendezvousStep) -> RvState:
+        if action.active == HOME_ID:
+            return self._apply_home_active(state, action)
+        return self._apply_remote_active(state, action)
+
+    def _apply_home_active(self, state: RvState, action: RendezvousStep) -> RvState:
+        remote_idx = action.passive
+        assert isinstance(remote_idx, int)
+        home_def = self.protocol.home.state(state.home.state)
+        out_guard = self._matching_output(
+            home_def.outputs, state, action, target=remote_idx)
+        remote = state.remotes[remote_idx]
+        in_guard = self._matching_input(
+            self.protocol.remote.state(remote.state).inputs,
+            remote.env, action.msg, -1, action.payload)
+        new_home = state.home.moved(
+            out_guard.to, out_guard.apply_update(state.home.env))
+        new_remote = remote.moved(
+            in_guard.to, in_guard.complete(remote.env, -1, action.payload))
+        return state.with_home(new_home).with_remote(remote_idx, new_remote)
+
+    def _apply_remote_active(self, state: RvState, action: RendezvousStep) -> RvState:
+        remote_idx = action.active
+        assert isinstance(remote_idx, int)
+        remote = state.remotes[remote_idx]
+        out_guard = None
+        for guard in self.protocol.remote.state(remote.state).outputs:
+            if (guard.msg == action.msg and guard.enabled(remote.env)
+                    and guard.eval_payload(remote.env) == action.payload):
+                out_guard = guard
+                break
+        if out_guard is None:
+            raise SemanticsError(
+                f"remote r{remote_idx} cannot send {action.msg!r} "
+                f"from state {remote.state!r}"
+            )
+        in_guard = self._matching_input(
+            self.protocol.home.state(state.home.state).inputs,
+            state.home.env, action.msg, remote_idx, action.payload)
+        new_remote = remote.moved(
+            out_guard.to, out_guard.apply_update(remote.env))
+        new_home = state.home.moved(
+            in_guard.to,
+            in_guard.complete(state.home.env, remote_idx, action.payload))
+        return state.with_home(new_home).with_remote(remote_idx, new_remote)
+
+    def _matching_output(self, outputs: Iterable[Output], state: RvState,
+                         action: RendezvousStep, target: int) -> Output:
+        for guard in outputs:
+            if guard.msg != action.msg or not guard.enabled(state.home.env):
+                continue
+            assert guard.target is not None
+            if (guard.target.eval(state.home.env) == target
+                    and guard.eval_payload(state.home.env) == action.payload):
+                return guard
+        raise SemanticsError(
+            f"home cannot send {action.msg!r} to r{target} "
+            f"from state {state.home.state!r}"
+        )
+
+    @staticmethod
+    def _matching_input(inputs: Iterable[Input], env, msg: str, sender: int,
+                        payload: Value) -> Input:
+        for guard in inputs:
+            if guard.msg == msg and guard.accepts(env, sender, payload):
+                return guard
+        raise SemanticsError(f"no input guard accepts {msg!r} from {sender}")
+
+    # -- convenience ---------------------------------------------------------
+
+    def successors(self, state: RvState) -> list[tuple[RendezvousAction, RvState]]:
+        return [(action, self.apply(state, action))
+                for action in self.actions(state)]
+
+    def is_progress(self, action: RendezvousAction) -> bool:
+        """Progress-criterion labelling: rendezvous completions are progress."""
+        return isinstance(action, RendezvousStep)

@@ -1,0 +1,68 @@
+"""Shared global-state containers for both semantic levels.
+
+A *global state* is what the model checker hashes and stores: the control
+state and variable environment of the home node and of every remote node,
+plus (at the asynchronous level only) buffers and in-flight messages.  The
+rendezvous-level :class:`RvState` lives here; the richer asynchronous state
+lives in :mod:`repro.semantics.asynchronous` but reuses :class:`ProcState`.
+
+Process identities: the home node is :data:`HOME_ID`; remote nodes are
+``0 .. n-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..csp.env import Env
+
+__all__ = ["HOME_ID", "ProcId", "ProcState", "RvState"]
+
+#: Identity of the home node in transition labels and message records.
+HOME_ID = "h"
+
+ProcId = Union[str, int]  # HOME_ID or a remote index
+
+
+@dataclass(frozen=True)
+class ProcState:
+    """Control state name plus variable environment of one process."""
+
+    state: str
+    env: Env
+
+    def moved(self, state: str, env: Env | None = None) -> "ProcState":
+        return ProcState(state=state, env=self.env if env is None else env)
+
+    def describe(self) -> str:
+        if len(self.env) == 0:
+            return self.state
+        body = ",".join(f"{k}={v!r}" for k, v in self.env.items())
+        return f"{self.state}[{body}]"
+
+
+@dataclass(frozen=True)
+class RvState:
+    """Global state of the rendezvous-level transition system."""
+
+    home: ProcState
+    remotes: tuple[ProcState, ...]
+
+    @property
+    def n_remotes(self) -> int:
+        return len(self.remotes)
+
+    def with_home(self, home: ProcState) -> "RvState":
+        return RvState(home=home, remotes=self.remotes)
+
+    def with_remote(self, index: int, proc: ProcState) -> "RvState":
+        remotes = list(self.remotes)
+        remotes[index] = proc
+        return RvState(home=self.home, remotes=tuple(remotes))
+
+    def describe(self) -> str:
+        remotes = " ".join(
+            f"r{i}:{p.describe()}" for i, p in enumerate(self.remotes)
+        )
+        return f"h:{self.home.describe()} {remotes}"

@@ -1,0 +1,163 @@
+"""Measurement layer for simulation runs.
+
+The paper's quality criteria for a refined protocol (section 1):
+
+1. "the number of request, acknowledge, and negative acknowledge (nack)
+   messages needed for carrying out the rendezvous specified in the given
+   specification" — captured here as message counts by kind and by
+   rendezvous type, and as the messages-per-completed-rendezvous ratio;
+2. "the buffering requirements to guarantee a ... progress criterion" —
+   captured as the home-buffer occupancy profile (requests and
+   fire-and-forget notes separately).
+
+Fairness/starvation measurements (paper section 6) come as per-node
+completion counts, Jain's fairness index, and the longest stretch any node
+waited between completions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["SimMetrics", "jain_index"]
+
+
+def jain_index(values: list[int] | list[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = one node hogs."""
+    if not values:
+        return 1.0
+    total = float(sum(values))
+    squares = float(sum(v * v for v in values))
+    if squares == 0:
+        return 1.0
+    return total * total / (len(values) * squares)
+
+
+@dataclass
+class SimMetrics:
+    """Accumulated observables of one simulation run."""
+
+    n_remotes: int
+    #: messages injected into the network, by Msg.kind
+    messages_by_kind: Counter = field(default_factory=Counter)
+    #: REQ/REPL/NOTE messages by rendezvous message type
+    messages_by_type: Counter = field(default_factory=Counter)
+    #: completed rendezvous by message type
+    completions_by_type: Counter = field(default_factory=Counter)
+    #: completed rendezvous per remote node
+    completions_by_remote: Counter = field(default_factory=Counter)
+    #: acquire-to-completion latencies (simulated time units)
+    acquire_latencies: list[float] = field(default_factory=list)
+    #: (time, solid_entries, note_entries) samples of the home buffer
+    buffer_samples: list[tuple[float, int, int]] = field(default_factory=list)
+    #: per-remote time of last completion (for starvation analysis)
+    last_completion_at: dict[int, float] = field(default_factory=dict)
+    #: longest observed gap between completions, per remote
+    longest_wait: dict[int, float] = field(default_factory=dict)
+    end_time: float = 0.0
+
+    # -- recording (called by the engine) ------------------------------------
+
+    def record_sends(self, now: float, msgs) -> None:
+        for msg in msgs:
+            self.messages_by_kind[msg.kind] += 1
+            if msg.msg is not None:
+                self.messages_by_type[msg.msg] += 1
+
+    def record_completions(self, now: float, completes) -> None:
+        for rendezvous in completes:
+            self.completions_by_type[rendezvous.msg] += 1
+            remote = rendezvous.remote
+            previous = self.last_completion_at.get(remote, 0.0)
+            gap = now - previous
+            if gap > self.longest_wait.get(remote, 0.0):
+                self.longest_wait[remote] = gap
+            self.last_completion_at[remote] = now
+            self.completions_by_remote[remote] += 1
+
+    def record_buffer(self, now: float, buffer) -> None:
+        solid = sum(1 for e in buffer if not e.note)
+        notes = len(buffer) - solid
+        self.buffer_samples.append((now, solid, notes))
+
+    def record_latency(self, latency: float) -> None:
+        self.acquire_latencies.append(latency)
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_kind.values())
+
+    @property
+    def total_completions(self) -> int:
+        return sum(self.completions_by_type.values())
+
+    @property
+    def messages_per_rendezvous(self) -> float:
+        """Paper quality criterion 1 (lower is better; 2.0 is the fused
+        optimum, 4.0 the plain request/ack figure for a req/repl pair)."""
+        if self.total_completions == 0:
+            return float("inf")
+        return self.total_messages / self.total_completions
+
+    @property
+    def nack_rate(self) -> float:
+        if self.total_messages == 0:
+            return 0.0
+        return self.messages_by_kind.get("NACK", 0) / self.total_messages
+
+    @property
+    def fairness(self) -> float:
+        counts = [self.completions_by_remote.get(i, 0)
+                  for i in range(self.n_remotes)]
+        return jain_index(counts)
+
+    @property
+    def starved_remotes(self) -> list[int]:
+        """Remotes that completed nothing during the whole run."""
+        return [i for i in range(self.n_remotes)
+                if self.completions_by_remote.get(i, 0) == 0]
+
+    @property
+    def max_buffer_occupancy(self) -> tuple[int, int]:
+        """(max solid entries, max note entries) ever observed."""
+        if not self.buffer_samples:
+            return (0, 0)
+        return (max(s for _t, s, _n in self.buffer_samples),
+                max(n for _t, _s, n in self.buffer_samples))
+
+    def latency_percentiles(self,
+                            qs=(50, 90, 99)) -> Optional[dict[int, float]]:
+        if not self.acquire_latencies:
+            return None
+        ordered = sorted(self.acquire_latencies)
+        out = {}
+        for q in qs:
+            index = min(len(ordered) - 1,
+                        max(0, round(q / 100 * (len(ordered) - 1))))
+            out[q] = ordered[index]
+        return out
+
+    def describe(self) -> str:
+        kinds = ", ".join(f"{k}:{v}" for k, v in
+                          sorted(self.messages_by_kind.items()))
+        lines = [
+            f"simulated {self.end_time:.0f} time units, "
+            f"{self.total_completions} rendezvous completed",
+            f"  messages: {self.total_messages} ({kinds})",
+            f"  messages/rendezvous: {self.messages_per_rendezvous:.2f}, "
+            f"nack rate: {self.nack_rate:.1%}",
+            f"  fairness (Jain): {self.fairness:.3f}; "
+            f"starved: {self.starved_remotes or 'none'}",
+            f"  home buffer peak: solid={self.max_buffer_occupancy[0]} "
+            f"notes={self.max_buffer_occupancy[1]}",
+        ]
+        percentiles = self.latency_percentiles()
+        if percentiles:
+            rendered = ", ".join(f"p{q}={v:.1f}"
+                                 for q, v in percentiles.items())
+            lines.append(f"  acquire latency: {rendered}")
+        return "\n".join(lines)

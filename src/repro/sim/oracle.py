@@ -1,0 +1,90 @@
+"""Runtime oracles: check trace-level correctness during simulation.
+
+Model checking verifies all interleavings of the *abstract* protocol; the
+oracles double-check the *concrete timed runs* the simulator produces, the
+way a hardware validation testbench would.  They subscribe to completed
+rendezvous (with payloads) and raise
+:class:`~repro.errors.SimulationError` on the first violation.
+
+:class:`CoherenceOracle` — value-chain integrity for ownership-style
+protocols run with a real data domain (``data_values=...``): the value any
+grant hands out must be exactly the value most recently relinquished to
+the home (or the initial value).  A lost update, a stale grant, or a
+reordered relinquish all break the chain.
+
+:class:`StarvationOracle` — flags any remote that goes longer than a
+threshold without completing a rendezvous while the system as a whole is
+making progress (the paper's section 6 concern, as a runtime alarm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..csp.env import Value
+from ..errors import SimulationError
+from ..semantics.rendezvous import RendezvousStep
+
+__all__ = ["CoherenceOracle", "StarvationOracle"]
+
+
+@dataclass
+class CoherenceOracle:
+    """Check the grant/relinquish value chain of a data-carrying run.
+
+    :param grant_msgs: rendezvous types that hand the line's value out.
+    :param relinquish_msgs: rendezvous types that return it (with
+        modifications) to the home.
+    :param initial: the line's initial value.
+    """
+
+    grant_msgs: frozenset[str] = frozenset({"gr", "grR", "grW"})
+    relinquish_msgs: frozenset[str] = frozenset({"LR", "ID"})
+    initial: Value = 0
+    #: number of grants/relinquishes checked (for test introspection)
+    n_checked: int = 0
+    _value: Value = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._value = self.initial
+
+    def observe(self, now: float, rendezvous: RendezvousStep) -> None:
+        if rendezvous.msg in self.relinquish_msgs:
+            self._value = rendezvous.payload
+            self.n_checked += 1
+        elif rendezvous.msg in self.grant_msgs:
+            self.n_checked += 1
+            if rendezvous.payload != self._value:
+                raise SimulationError(
+                    f"coherence violation at t={now:.1f}: grant "
+                    f"{rendezvous.msg!r} carries {rendezvous.payload!r} but "
+                    f"the line's value is {self._value!r} — a relinquished "
+                    "update was lost or a stale copy was handed out")
+
+
+@dataclass
+class StarvationOracle:
+    """Alarm when one node stalls while the system progresses.
+
+    ``threshold`` is how many *system-wide* completions may pass without a
+    given (active) remote completing anything before the alarm trips.  A
+    remote only counts as active once it has completed at least one
+    rendezvous (nodes that never participate are the workload's business).
+    """
+
+    n_remotes: int
+    threshold: int = 500
+    _since: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, now: float, rendezvous: RendezvousStep) -> None:
+        winner = rendezvous.remote
+        self._since[winner] = 0
+        for remote, stalled in list(self._since.items()):
+            if remote == winner:
+                continue
+            self._since[remote] = stalled + 1
+            if self._since[remote] > self.threshold:
+                raise SimulationError(
+                    f"starvation alarm at t={now:.1f}: r{remote} completed "
+                    f"nothing in the last {self._since[remote]} system-wide "
+                    "rendezvous")

@@ -1,0 +1,168 @@
+"""Workload gating: which protocol transitions the *CPU* decides.
+
+A refined protocol's remote node mixes two kinds of autonomy:
+
+* **protocol-internal** steps (processing a buffered request, sending the
+  LR after an eviction decision, retransmitting after a nack) — these fire
+  as fast as the node can process them;
+* **workload** decisions (the CPU wants to read/write the line, the cache
+  decides to evict, the CPU performs a store) — the paper draws these as
+  tau arcs like ``rw`` and ``evict`` (Figure 3) and they happen when the
+  *application* says so.
+
+The discrete-event simulator needs to know which is which: a
+:class:`WorkloadSpec` classifies the *gated* transitions of a protocol's
+remote template by ``(state, action kind, label)``, mapping each to a
+semantic :class:`AccessClass` the workload generator understands.  Gated
+transitions wait for the workload; everything else executes eagerly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+__all__ = [
+    "AccessClass",
+    "GatedOption",
+    "WorkloadSpec",
+    "MIGRATORY_WORKLOAD",
+    "MIGRATORY_RW_WORKLOAD",
+    "INVALIDATE_WORKLOAD",
+    "MSI_WORKLOAD",
+    "MESI_WORKLOAD_SPEC",
+    "workload_spec_for",
+]
+
+
+class AccessClass:
+    """Semantic classes of workload-gated transitions."""
+
+    ACQUIRE = "acquire"            # request the line (read/write merged)
+    ACQUIRE_READ = "acquire_read"
+    ACQUIRE_WRITE = "acquire_write"
+    UPGRADE = "upgrade"
+    EVICT = "evict"
+    WRITE = "write"                # a store while holding the line
+
+
+#: kinds used in gate keys
+SEND = "send"
+TAU = "tau"
+
+
+@dataclass(frozen=True)
+class GatedOption:
+    """One currently-available workload decision for a remote node."""
+
+    remote: int
+    kind: str            # SEND or TAU
+    state: str           # remote control state offering the option
+    label: Optional[str]  # tau label; None for sends
+    access_class: str
+
+    def describe(self) -> str:
+        what = self.label if self.kind == TAU else "send"
+        return f"r{self.remote}@{self.state}:{what} [{self.access_class}]"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Classification of a protocol's workload-gated transitions.
+
+    ``gates`` maps ``(state, kind, label)`` — with ``label=None`` for send
+    gates — to an :class:`AccessClass` value.  Transitions not in the map
+    are protocol-internal and execute eagerly.
+
+    ``acquire_complete_msgs`` names the rendezvous message types whose
+    completion ends an acquire transaction, for latency measurement.
+    """
+
+    name: str
+    gates: Mapping[tuple[str, str, Optional[str]], str]
+    acquire_complete_msgs: frozenset[str] = frozenset()
+
+    def classify(self, state: str, kind: str,
+                 label: Optional[str]) -> Optional[str]:
+        return self.gates.get((state, kind, label))
+
+
+MIGRATORY_WORKLOAD = WorkloadSpec(
+    name="migratory",
+    gates={
+        ("I", SEND, None): AccessClass.ACQUIRE,
+        ("V", TAU, "evict"): AccessClass.EVICT,
+        ("V", TAU, "write"): AccessClass.WRITE,
+    },
+    acquire_complete_msgs=frozenset({"gr"}),
+)
+
+MIGRATORY_RW_WORKLOAD = WorkloadSpec(
+    name="migratory-rw",
+    gates={
+        ("I", TAU, "rw"): AccessClass.ACQUIRE,
+        ("V", TAU, "evict"): AccessClass.EVICT,
+        ("V", TAU, "write"): AccessClass.WRITE,
+    },
+    acquire_complete_msgs=frozenset({"gr"}),
+)
+
+INVALIDATE_WORKLOAD = WorkloadSpec(
+    name="invalidate",
+    gates={
+        ("I", TAU, "wantR"): AccessClass.ACQUIRE_READ,
+        ("I", TAU, "wantW"): AccessClass.ACQUIRE_WRITE,
+        ("S", TAU, "evict"): AccessClass.EVICT,
+        ("M", TAU, "evict"): AccessClass.EVICT,
+        ("M", TAU, "write"): AccessClass.WRITE,
+    },
+    acquire_complete_msgs=frozenset({"grR", "grW"}),
+)
+
+MESI_WORKLOAD_SPEC = WorkloadSpec(
+    name="mesi",
+    gates={
+        ("I", TAU, "wantR"): AccessClass.ACQUIRE_READ,
+        ("I", TAU, "wantW"): AccessClass.ACQUIRE_WRITE,
+        ("E", TAU, "write"): AccessClass.WRITE,
+        ("E", TAU, "evict"): AccessClass.EVICT,
+        ("M", TAU, "evict"): AccessClass.EVICT,
+        ("M", TAU, "write"): AccessClass.WRITE,
+        ("S", TAU, "evict"): AccessClass.EVICT,
+    },
+    acquire_complete_msgs=frozenset({"grE", "grS", "grM"}),
+)
+
+MSI_WORKLOAD = WorkloadSpec(
+    name="msi",
+    gates={
+        ("I", TAU, "wantR"): AccessClass.ACQUIRE_READ,
+        ("I", TAU, "wantW"): AccessClass.ACQUIRE_WRITE,
+        ("S", TAU, "evict"): AccessClass.EVICT,
+        ("S", TAU, "wantUp"): AccessClass.UPGRADE,
+        ("M", TAU, "evict"): AccessClass.EVICT,
+        ("M", TAU, "write"): AccessClass.WRITE,
+    },
+    acquire_complete_msgs=frozenset({"grR", "grW", "grU", "upfail"}),
+)
+
+_BY_PROTOCOL = {
+    "mesi": MESI_WORKLOAD_SPEC,
+    "migratory": MIGRATORY_WORKLOAD,
+    "invalidate": INVALIDATE_WORKLOAD,
+    "msi": MSI_WORKLOAD,
+}
+
+
+def workload_spec_for(protocol_name: str,
+                      explicit_rw: bool = False) -> WorkloadSpec:
+    """Built-in spec for a library protocol, by protocol name."""
+    if protocol_name == "migratory" and explicit_rw:
+        return MIGRATORY_RW_WORKLOAD
+    try:
+        return _BY_PROTOCOL[protocol_name]
+    except KeyError:
+        raise KeyError(
+            f"no built-in workload spec for protocol {protocol_name!r}; "
+            "construct a WorkloadSpec describing its gated transitions"
+        ) from None

@@ -1,0 +1,78 @@
+"""Simulation trace recording (message-level event log).
+
+When a :class:`~repro.sim.engine.Simulator` is constructed with
+``record_trace=True`` it keeps a :class:`TraceEvent` per message movement:
+
+* ``send``    — a message entered a channel (derived from the exact queue
+  growth between the pre- and post-states, so source/destination are
+  always known);
+* ``deliver`` — a channel head was consumed by its destination;
+* ``complete`` — a rendezvous finished (with which message type and
+  which remote).
+
+Traces feed the :func:`repro.viz.msc.render_msc` message-sequence chart,
+the protocol-debugging workflow the paper's designers would have used on
+the Avalanche testbed, and they replay deterministically (same seeds,
+same trace) so regressions show as trace diffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TraceEvent", "derive_message_events"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One message-level event of a simulation run.
+
+    ``src``/``dst`` are ``"h"`` or ``"r<i>"``; ``payload`` is carried for
+    send/deliver events of payloaded messages.
+    """
+
+    time: float
+    kind: str            # "send" | "deliver" | "complete"
+    src: str
+    dst: str
+    label: str           # message description or completed rendezvous type
+    payload: object = None
+
+    def describe(self) -> str:
+        arrow = {"send": "→", "deliver": "⇒", "complete": "✓"}[self.kind]
+        return (f"t={self.time:9.2f}  {self.src:>3} {arrow} {self.dst:<3} "
+                f"{self.label}")
+
+
+def _party(channel_index: int) -> tuple[str, str]:
+    """(src, dst) names for a channel index (even: h->r, odd: r->h)."""
+    remote, to_remote = divmod(channel_index, 2)
+    if to_remote == 0:
+        return "h", f"r{remote}"
+    return f"r{remote}", "h"
+
+
+def derive_message_events(now: float, before_channels, after_channels,
+                          popped: Optional[int] = None) -> list[TraceEvent]:
+    """Message events implied by one transition's channel delta.
+
+    ``popped`` is the channel index a delivery consumed from (or ``None``
+    for non-delivery steps); any queue growth beyond the pop is a send.
+    """
+    events: list[TraceEvent] = []
+    if popped is not None:
+        message = before_channels.queues[popped][0]
+        src, dst = _party(popped)
+        events.append(TraceEvent(time=now, kind="deliver", src=src, dst=dst,
+                                 label=message.describe(),
+                                 payload=message.payload))
+    for index, (before, after) in enumerate(
+            zip(before_channels.queues, after_channels.queues)):
+        base = len(before) - (1 if index == popped else 0)
+        for message in after[base:]:
+            src, dst = _party(index)
+            events.append(TraceEvent(time=now, kind="send", src=src,
+                                     dst=dst, label=message.describe(),
+                                     payload=message.payload))
+    return events

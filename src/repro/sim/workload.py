@@ -1,0 +1,155 @@
+"""Workload generators driving the DSM simulator.
+
+A workload decides *when* and *which* gated transition each remote node
+takes (see :mod:`repro.sim.policy`).  The interface is a single method::
+
+    choose(now, option_groups) -> (delay, option) | None
+
+called whenever a remote arrives at a state offering gated options;
+returning ``None`` means the node stays passive until the protocol moves it
+(e.g. an invalidation arrives).
+
+Three generators cover the benchmark suite:
+
+* :class:`SyntheticWorkload` — Poisson think/hold times with a read/write
+  mix; the general-purpose model (the migratory pattern of the paper's
+  motivating DSM applications corresponds to a write-heavy mix).
+* :class:`HotLineWorkload` — every node wants the line all the time; the
+  adversarial contention pattern used for fairness/starvation studies
+  (paper section 6).
+* :class:`TraceWorkload` — a fixed schedule, for deterministic tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import random
+
+from .policy import AccessClass, GatedOption
+
+__all__ = ["SyntheticWorkload", "HotLineWorkload", "TraceWorkload"]
+
+Choice = Optional[tuple[float, GatedOption]]
+
+_ACQUIRES = (AccessClass.ACQUIRE, AccessClass.ACQUIRE_READ,
+             AccessClass.ACQUIRE_WRITE, AccessClass.UPGRADE)
+
+
+def _pick_acquire(options: Sequence[GatedOption], want_write: bool,
+                  allow_upgrade: bool = True) -> Optional[GatedOption]:
+    """Choose an acquire-class option honouring the read/write intent."""
+    preferred = (AccessClass.ACQUIRE_WRITE if want_write
+                 else AccessClass.ACQUIRE_READ)
+    for target in (preferred, AccessClass.ACQUIRE):
+        for option in options:
+            if option.access_class == target:
+                return option
+    if allow_upgrade and want_write:
+        for option in options:
+            if option.access_class == AccessClass.UPGRADE:
+                return option
+    return None
+
+
+@dataclass
+class SyntheticWorkload:
+    """Poisson-arrival accesses with exponential hold times.
+
+    :param seed: RNG seed (the generator is deterministic given it).
+    :param think_time: mean delay before an idle CPU's next access.
+    :param hold_time: mean time a node keeps the line before evicting.
+    :param write_fraction: probability an access wants write permission.
+    :param upgrade_fraction: when already sharing, probability a write
+        intent becomes an upgrade rather than an evict-and-refetch.
+    """
+
+    seed: int = 0
+    think_time: float = 50.0
+    hold_time: float = 20.0
+    write_fraction: float = 0.5
+    upgrade_fraction: float = 0.5
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def choose(self, now: float, options: Sequence[GatedOption]) -> Choice:
+        acquire = [o for o in options if o.access_class in _ACQUIRES]
+        evicts = [o for o in options if o.access_class == AccessClass.EVICT]
+        if acquire:
+            want_write = self._rng.random() < self.write_fraction
+            upgrades = [o for o in acquire
+                        if o.access_class == AccessClass.UPGRADE]
+            if upgrades and want_write and \
+                    self._rng.random() < self.upgrade_fraction:
+                return (self._rng.expovariate(1 / self.hold_time),
+                        upgrades[0])
+            picked = _pick_acquire(acquire, want_write,
+                                   allow_upgrade=False)
+            if picked is not None:
+                return (self._rng.expovariate(1 / self.think_time), picked)
+        if evicts:
+            return (self._rng.expovariate(1 / self.hold_time), evicts[0])
+        return None
+
+
+@dataclass
+class HotLineWorkload:
+    """Every node re-requests immediately; nobody volunteers an eviction.
+
+    This is the contention pattern where nacks, retries and starvation show
+    up (paper section 6): the line is torn between all nodes, and any
+    sharing happens only through the protocol's own revocations.
+    """
+
+    seed: int = 0
+    reissue_delay: float = 1.0
+    write_fraction: float = 1.0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def choose(self, now: float, options: Sequence[GatedOption]) -> Choice:
+        want_write = self._rng.random() < self.write_fraction
+        picked = _pick_acquire(options, want_write)
+        if picked is None:
+            return None  # never evict voluntarily
+        return (self._rng.expovariate(1 / self.reissue_delay), picked)
+
+
+@dataclass
+class TraceWorkload:
+    """Deterministic schedule: ``(time, remote, access_class)`` entries.
+
+    Each entry fires the matching gated option of that remote at (or as
+    soon after as the option exists) the given time.  Used by tests that
+    need exact scenarios.
+    """
+
+    entries: Sequence[tuple[float, int, str]]
+    _cursor: dict[int, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        ordered: dict[int, list[tuple[float, str]]] = {}
+        for when, remote, access_class in sorted(self.entries):
+            ordered.setdefault(remote, []).append((when, access_class))
+        self._per_remote = ordered
+        self._cursor = dict.fromkeys(ordered, 0)
+
+    def choose(self, now: float, options: Sequence[GatedOption]) -> Choice:
+        if not options:
+            return None
+        remote = options[0].remote
+        queue = self._per_remote.get(remote, [])
+        cursor = self._cursor.get(remote, 0)
+        if cursor >= len(queue):
+            return None
+        when, access_class = queue[cursor]
+        for option in options:
+            if option.access_class == access_class:
+                self._cursor[remote] = cursor + 1
+                return (max(0.0, when - now), option)
+        return None

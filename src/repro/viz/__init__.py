@@ -1,0 +1,8 @@
+"""Rendering of protocol state machines (DOT and plain text)."""
+
+from .ascii import process_ascii, protocol_summary, refined_ascii
+from .dot import process_dot, refined_dot
+from .msc import render_msc
+
+__all__ = ["process_ascii", "process_dot", "protocol_summary",
+           "refined_ascii", "refined_dot", "render_msc"]

@@ -1,0 +1,97 @@
+"""Plain-text rendering of protocol state machines (terminal-friendly).
+
+One line per transition, grouped by source state, using the paper's
+notation: ``?``/``!`` for rendezvous guards, ``??``/``!!`` for refined
+asynchronous actions, ``τ`` for autonomous decisions, and ``(dotted)``
+markers for the refinement's transient states.
+"""
+
+from __future__ import annotations
+
+from ..csp.ast import ProcessDef, ProcessKind
+from ..refine.plan import RefinedProtocol
+from .dot import reply_destination
+
+__all__ = ["process_ascii", "refined_ascii", "protocol_summary"]
+
+
+def process_ascii(process: ProcessDef) -> str:
+    """Text table of a rendezvous-level process (Figures 1-3 style)."""
+    lines = [f"process {process.name} ({process.kind}), "
+             f"initial state {process.initial_state}"]
+    if len(process.initial_env):
+        bindings = ", ".join(f"{k}={v!r}"
+                             for k, v in process.initial_env.items())
+        lines.append(f"  vars: {bindings}")
+    for state in process.states.values():
+        kind = ("internal" if state.is_internal else
+                "communication" if state.is_communication else "terminal")
+        lines.append(f"  {state.name} [{kind}]")
+        for guard in state.guards:
+            lines.append(f"    {guard.describe():<24} -> {guard.to}")
+    return "\n".join(lines)
+
+
+def refined_ascii(refined: RefinedProtocol, side: str) -> str:
+    """Text rendering of one refined machine (Figures 4-5 style)."""
+    process = (refined.protocol.home if side == ProcessKind.HOME
+               else refined.protocol.remote)
+    plan = refined.plan
+    home_side = side == ProcessKind.HOME
+    lines = [f"refined {process.name} [{plan.describe()}]"]
+    for state in process.states.values():
+        lines.append(f"  {state.name}")
+        for guard in state.taus:
+            lines.append(f"    {guard.describe():<30} -> {guard.to}")
+        for guard in state.inputs:
+            fused = plan.is_fused_request(guard.msg,
+                                          sender_is_home=not home_side)
+            note = guard.msg in plan.fire_and_forget
+            if fused and not home_side:
+                reply = plan.reply_of[guard.msg]
+                lines.append(f"    ??{guard.msg} ⇒ !!{reply:<18} -> "
+                             f"(fused response)")
+            elif guard.msg in plan.reply_msgs:
+                lines.append(f"    ??{guard.msg} (reply){'':<13} "
+                             f"-> {guard.to}  (consumed in transient wait)")
+            else:
+                suffix = "" if (fused or note) else " / !!ack"
+                lines.append(f"    ??{guard.msg}{suffix:<18} -> {guard.to}")
+        for guard in state.outputs:
+            if guard.msg in plan.fire_and_forget:
+                lines.append(f"    !!{guard.msg} (no ack){'':<12} -> {guard.to}")
+            elif guard.msg in plan.reply_msgs:
+                lines.append(f"    !!{guard.msg} (reply){'':<13} -> {guard.to}")
+            else:
+                trans = f"{state.name}·{guard.msg}"
+                fused = plan.is_fused_request(guard.msg,
+                                              sender_is_home=home_side)
+                if fused:
+                    reply = plan.reply_of[guard.msg]
+                    wait = f"??{reply}"
+                    landing = reply_destination(process, guard, reply)
+                else:
+                    wait, landing = "??ack", guard.to
+                lines.append(f"    !!{guard.msg:<26} -> {trans} (dotted)")
+                lines.append(f"      {trans}: {wait} -> {landing}"
+                             + ("; [nack] -> retry next guard"
+                                if home_side else
+                                "; ??nack -> retransmit; ??* ignored"))
+    return "\n".join(lines)
+
+
+def protocol_summary(refined: RefinedProtocol) -> str:
+    """One-paragraph summary of a refinement result."""
+    plan = refined.plan
+    proto = refined.protocol
+    n_home = len(proto.home.states)
+    n_remote = len(proto.remote.states)
+    transients_home = sum(len(s.outputs) for s in proto.home.states.values()
+                          if s.outputs)
+    transients_remote = sum(len(s.outputs)
+                            for s in proto.remote.states.values())
+    return (
+        f"{proto.name}: home {n_home} states (+{transients_home} transient), "
+        f"remote {n_remote} states (+{transients_remote} transient); "
+        f"{plan.describe()}"
+    )

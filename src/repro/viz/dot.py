@@ -1,0 +1,160 @@
+"""Graphviz DOT rendering of rendezvous and refined state machines.
+
+``process_dot`` draws a rendezvous-level process — Figures 1, 2 and 3 of
+the paper.  ``refined_dot`` draws the *refined* machine — Figures 4 and 5 —
+by materializing the transient states the refinement introduces (shown
+dotted, as in the paper), the ack/nack edges, the implicit-nack edge
+(``[nack]``), the transient self-loop on ignored requests (``h??*``) and
+the fused request/reply short-cuts.
+
+The output is plain DOT text: render with ``dot -Tpng`` if Graphviz is
+available, or read directly — node/edge labels follow the paper's
+``??``/``!!`` notation for asynchronous receives/sends.
+"""
+
+from __future__ import annotations
+
+from ..csp.ast import Input, Output, ProcessDef, ProcessKind, StateDef, Tau
+from ..refine.plan import RefinedProtocol
+
+__all__ = ["process_dot", "refined_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def process_dot(process: ProcessDef, title: str | None = None) -> str:
+    """Render a rendezvous-level process as a DOT digraph."""
+    lines = [f'digraph "{_escape(title or process.name)}" {{',
+             "  rankdir=LR;",
+             '  node [shape=circle, fontsize=11];',
+             f'  __start [shape=point, label=""];',
+             f'  __start -> "{_escape(process.initial_state)}";']
+    for state in process.states.values():
+        shape = "circle" if state.is_communication else "doublecircle"
+        lines.append(f'  "{_escape(state.name)}" [shape={shape}];')
+        for guard in state.guards:
+            label = guard.describe()
+            style = "dashed" if isinstance(guard, Tau) else "solid"
+            lines.append(
+                f'  "{_escape(state.name)}" -> "{_escape(guard.to)}" '
+                f'[label="{_escape(label)}", style={style}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def reply_destination(process: ProcessDef, guard: Output,
+                      reply: str) -> str:
+    """Where a fused reply lands: past the intermediate reply-wait state."""
+    mid = process.state(guard.to)
+    for candidate in mid.inputs:
+        if candidate.msg == reply:
+            return candidate.to
+    return guard.to
+
+
+def refined_dot(refined: RefinedProtocol, side: str,
+                title: str | None = None) -> str:
+    """Render one side of the refined machine (``"home"``/``"remote"``)."""
+    if side == ProcessKind.HOME:
+        process = refined.protocol.home
+    elif side == ProcessKind.REMOTE:
+        process = refined.protocol.remote
+    else:
+        raise ValueError(f"side must be 'home' or 'remote', got {side!r}")
+
+    plan = refined.plan
+    home_side = side == ProcessKind.HOME
+    peer = "r" if home_side else "h"
+
+    lines = [f'digraph "{_escape(title or f"{process.name} (refined)")}" {{',
+             "  rankdir=LR;",
+             "  node [shape=circle, fontsize=11];",
+             '  __start [shape=point, label=""];',
+             f'  __start -> "{_escape(process.initial_state)}";']
+
+    def edge(src: str, dst: str, label: str, dotted: bool = False) -> None:
+        style = ", style=dotted" if dotted else ""
+        lines.append(f'  "{_escape(src)}" -> "{_escape(dst)}" '
+                     f'[label="{_escape(label)}"{style}];')
+
+    for state in process.states.values():
+        lines.append(f'  "{_escape(state.name)}";')
+        for guard in state.taus:
+            edge(state.name, guard.to, guard.describe(), dotted=False)
+        for guard in state.inputs:
+            _render_input(edge, plan, process, state, guard, home_side, peer)
+        for idx, guard in enumerate(state.outputs):
+            _render_output(lines, edge, plan, process, state, guard, idx,
+                           home_side, peer)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _peer_name(guard, home_side: bool) -> str:
+    if not home_side:
+        return "h"
+    pattern = getattr(guard, "sender", None) or getattr(guard, "target", None)
+    return pattern.describe() if pattern is not None else "r(?)"
+
+
+def _render_input(edge, plan, process: ProcessDef, state: StateDef,
+                  guard: Input, home_side: bool, peer: str) -> None:
+    """Passive side: buffered requests acked (C3/C1) or consumed fused."""
+    who = _peer_name(guard, home_side)
+    fused_request = plan.is_fused_request(guard.msg,
+                                          sender_is_home=not home_side)
+    note = guard.msg in plan.fire_and_forget
+    if fused_request and not home_side:
+        # responder of a home-initiated pair: the reply edge is drawn from
+        # the consuming state straight through the local chain
+        reply = plan.reply_of[guard.msg]
+        edge(state.name, guard.to, f"{who}??{guard.msg} ⇒ …!!{reply}")
+        return
+    if guard.msg in plan.reply_msgs:
+        # reply inputs are consumed inside the requester's transient wait;
+        # drawn dotted for reference only
+        edge(state.name, guard.to, f"{who}??{guard.msg} (in transient)",
+             dotted=True)
+        return
+    suffix = "" if (fused_request or note) else f" / {who}!!ack"
+    edge(state.name, guard.to, f"{who}??{guard.msg}{suffix}")
+
+
+def _render_output(lines, edge, plan, process: ProcessDef, state: StateDef,
+                   guard: Output, idx: int, home_side: bool,
+                   peer: str) -> None:
+    who = _peer_name(guard, home_side)
+    if guard.msg in plan.fire_and_forget:
+        edge(state.name, guard.to, f"{who}!!{guard.msg} (no ack)")
+        return
+    if home_side and guard.msg in plan.reply_msgs:
+        # fused reply: sent without awaiting any acknowledgement
+        edge(state.name, guard.to, f"{who}!!{guard.msg} (reply)")
+        return
+    if not home_side and guard.msg in plan.reply_msgs:
+        edge(state.name, guard.to, f"{who}!!{guard.msg} (reply)")
+        return
+
+    trans = f"{state.name}·{guard.msg}"
+    lines.append(f'  "{_escape(trans)}" [style=dotted, '
+                 f'label="{_escape(trans)}"];')
+    edge(state.name, trans, f"{who}!!{guard.msg}")
+
+    fused = plan.is_fused_request(guard.msg, sender_is_home=home_side)
+    if fused:
+        reply = plan.reply_of[guard.msg]
+        edge(trans, reply_destination(process, guard, reply),
+             f"{who}??{reply}", dotted=True)
+    else:
+        edge(trans, guard.to, f"{who}??ack", dotted=True)
+
+    if home_side:
+        # explicit or implicit nack returns the home to the communication
+        # state, where the next output guard is attempted (row T2/T3)
+        edge(trans, state.name, "[nack]", dotted=True)
+        edge(trans, trans, "r(x)??msg/nack", dotted=True)
+    else:
+        edge(trans, trans, "h??nack / retransmit", dotted=True)
+        edge(trans, trans, "h??*", dotted=True)

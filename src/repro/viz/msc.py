@@ -1,0 +1,98 @@
+"""ASCII message-sequence charts from simulation traces.
+
+Renders the :class:`~repro.sim.trace.TraceEvent` log of a simulator run as
+the classic protocol-engineering diagram: one vertical lifeline per node
+(home first, then the remotes), time flowing downward, arrows for message
+*deliveries* (a send shows as the arrow's origin annotation), and ``✓``
+marks for completed rendezvous.
+
+Example (migratory, one acquire)::
+
+    time       h                 r0
+    10.00      │◀───req:req──────┤
+    10.00      ├────repl:gr─────▶│
+    17.20      │                 ✓ req, gr
+
+Use ``Simulator(..., record_trace=True)`` and pass ``simulator.trace``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..sim.trace import TraceEvent
+
+__all__ = ["render_msc"]
+
+_LANE_WIDTH = 18
+
+
+def _lane_names(n_remotes: int) -> list[str]:
+    return ["h"] + [f"r{i}" for i in range(n_remotes)]
+
+
+def render_msc(events: Iterable[TraceEvent], n_remotes: int,
+               *, max_events: Optional[int] = None,
+               show_sends: bool = False) -> str:
+    """Render a trace as an ASCII message-sequence chart.
+
+    :param show_sends: also print a row when a message *enters* the
+        network (off by default — the delivery row usually tells the
+        story, and contended runs double in length otherwise).
+    """
+    lanes = _lane_names(n_remotes)
+    column = {name: index for index, name in enumerate(lanes)}
+
+    header = "time".ljust(11) + "".join(
+        name.center(_LANE_WIDTH) for name in lanes)
+    lines = [header]
+
+    shown = [e for e in events if show_sends or e.kind != "send"]
+    for event in shown[:max_events]:
+        lines.append(_render_row(event, lanes, column))
+    if max_events is not None and len(shown) > max_events:
+        lines.append(f"... ({len(shown) - max_events} more events)")
+    return "\n".join(lines)
+
+
+def _render_row(event: TraceEvent, lanes: list[str],
+                column: dict[str, int]) -> str:
+    time_text = f"{event.time:<11.2f}"
+    if event.kind == "complete":
+        cells = []
+        for name in lanes:
+            if name == event.dst:
+                cells.append(f"✓ {event.label}".center(_LANE_WIDTH))
+            elif name == event.src:
+                cells.append("✓".center(_LANE_WIDTH))
+            else:
+                cells.append("│".center(_LANE_WIDTH))
+        return time_text + "".join(cells)
+
+    src_col, dst_col = column[event.src], column[event.dst]
+    left, right = min(src_col, dst_col), max(src_col, dst_col)
+    rightward = dst_col > src_col
+    label = event.label
+    if event.kind == "send":
+        label += " (sent)"
+
+    cells = []
+    for index, name in enumerate(lanes):
+        if index < left or index > right:
+            cells.append("│".center(_LANE_WIDTH))
+        elif index == left:
+            cells.append("├" + "─" * (_LANE_WIDTH - 1) if rightward
+                         else "◀" + "─" * (_LANE_WIDTH - 1))
+        elif index == right:
+            head = ("▶" if rightward else "┤")
+            cells.append("─" * (_LANE_WIDTH - 1) + head)
+        else:
+            cells.append("─" * _LANE_WIDTH)
+    row = time_text + "".join(cells)
+    # splice the label into the middle of the arrow
+    body_start = 11 + left * _LANE_WIDTH + 2
+    body_end = 11 + (right + 1) * _LANE_WIDTH - 2
+    middle = (body_start + body_end - len(label)) // 2
+    if middle > body_start:
+        row = row[:middle] + label + row[middle + len(label):]
+    return row

@@ -1,0 +1,66 @@
+"""Shared fixtures: canonical protocols and small refined systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AsyncSystem,
+    RefinementConfig,
+    RendezvousSystem,
+    invalidate_protocol,
+    migratory_protocol,
+    msi_protocol,
+    refine,
+)
+
+
+@pytest.fixture(scope="session")
+def migratory():
+    return migratory_protocol()
+
+
+@pytest.fixture(scope="session")
+def migratory_rw():
+    return migratory_protocol(explicit_rw=True)
+
+
+@pytest.fixture(scope="session")
+def invalidate():
+    return invalidate_protocol()
+
+
+@pytest.fixture(scope="session")
+def msi():
+    return msi_protocol()
+
+
+@pytest.fixture(scope="session")
+def migratory_refined(migratory):
+    return refine(migratory)
+
+
+@pytest.fixture(scope="session")
+def migratory_refined_plain(migratory):
+    """Refined without the request/reply optimization (pure Tables 1-2)."""
+    return refine(migratory, RefinementConfig(use_reqreply=False))
+
+
+@pytest.fixture(scope="session")
+def invalidate_refined(invalidate):
+    return refine(invalidate)
+
+
+@pytest.fixture(scope="session")
+def msi_refined(msi):
+    return refine(msi)
+
+
+@pytest.fixture
+def migratory_rv2(migratory):
+    return RendezvousSystem(migratory, 2)
+
+
+@pytest.fixture
+def migratory_async2(migratory_refined):
+    return AsyncSystem(migratory_refined, 2)

@@ -1,0 +1,126 @@
+"""Integration: the full pipeline (spec -> verify -> refine -> verify -> sim).
+
+These tests exercise the complete methodology of the paper (section 2.3):
+write the rendezvous protocol, model-check it cheaply, refine mechanically,
+and obtain an asynchronous protocol whose correctness follows — which we
+double-check the expensive way for good measure.
+"""
+
+import pytest
+
+from repro import (
+    AsyncSystem,
+    INVALIDATE_SPEC,
+    MIGRATORY_SPEC,
+    MSI_SPEC,
+    RefinementConfig,
+    RendezvousSystem,
+    assert_safe,
+    async_structural_invariants,
+    check_progress,
+    check_simulation,
+    coherence_invariants,
+    explore,
+    refine,
+)
+from repro.sim import Simulator, SyntheticWorkload
+
+
+ALL = [
+    ("migratory", "migratory", MIGRATORY_SPEC, 3),
+    ("invalidate", "invalidate", INVALIDATE_SPEC, 2),
+    ("msi", "msi", MSI_SPEC, 2),
+]
+
+
+@pytest.mark.parametrize("fixture_name,_label,spec,n", ALL)
+def test_full_methodology(request, fixture_name, _label, spec, n):
+    protocol = request.getfixturevalue(fixture_name)
+
+    # 1. verify the rendezvous protocol (cheap)
+    rendezvous = explore(RendezvousSystem(protocol, n),
+                         invariants=coherence_invariants(spec))
+    assert assert_safe(rendezvous).ok
+    assert check_progress(RendezvousSystem(protocol, n)).ok
+
+    # 2. refine mechanically
+    refined = refine(protocol)
+
+    # 3. the refinement theorem: weak simulation holds
+    simulation = check_simulation(AsyncSystem(refined, min(n, 2)))
+    assert simulation.ok
+
+    # 4. belt and braces: direct asynchronous verification
+    asynchronous = explore(
+        AsyncSystem(refined, min(n, 2)),
+        invariants=(coherence_invariants(spec)
+                    + async_structural_invariants(2)))
+    assert assert_safe(asynchronous).ok
+
+    # 5. the refined protocol actually runs
+    workload = SyntheticWorkload(seed=42, write_fraction=0.7)
+    metrics = Simulator(refined, 4, workload, seed=42).run(until=10_000)
+    assert metrics.total_completions > 10
+    assert not metrics.starved_remotes
+
+
+class TestVerificationCostStory:
+    """Quantify the paper's headline: verify high-level, run low-level."""
+
+    def test_rendezvous_cheaper_at_every_size(self, migratory,
+                                              migratory_refined):
+        for n in (2, 3):
+            rv = explore(RendezvousSystem(migratory, n))
+            asyn = explore(AsyncSystem(migratory_refined, n))
+            assert rv.n_states * 5 < asyn.n_states
+
+    def test_rendezvous_scales_where_async_cannot(self, migratory,
+                                                  migratory_refined):
+        budget = 50_000
+        rv16 = explore(RendezvousSystem(migratory, 16), max_states=budget)
+        assert rv16.completed
+        async6 = explore(AsyncSystem(migratory_refined, 6),
+                         max_states=budget)
+        assert not async6.completed  # "Unfinished"
+
+
+class TestConfigurationMatrix:
+    """Every refinement configuration yields a correct protocol."""
+
+    @pytest.mark.parametrize("k", [2, 3])
+    @pytest.mark.parametrize("reqreply", [True, False])
+    def test_matrix(self, migratory, k, reqreply):
+        refined = refine(migratory, RefinementConfig(
+            home_buffer_capacity=k, use_reqreply=reqreply))
+        result = explore(
+            AsyncSystem(refined, 2),
+            invariants=(coherence_invariants(MIGRATORY_SPEC)
+                        + async_structural_invariants(k)))
+        assert assert_safe(result).ok
+        assert check_progress(AsyncSystem(refined, 2)).ok
+
+
+class TestAblations:
+    """The paper's design choices, demonstrated by switching them off."""
+
+    def test_progress_buffer_prevents_livelock(self, migratory):
+        base = RefinementConfig(use_reqreply=False)
+        with_reservation = refine(migratory, base)
+        assert check_progress(AsyncSystem(with_reservation, 4)).ok
+
+        ablated = refine(migratory, RefinementConfig(
+            use_reqreply=False, reserve_progress_buffer=False))
+        report = check_progress(AsyncSystem(ablated, 4))
+        assert not report.ok
+        assert report.livelocks  # the exact failure of paper section 3.2
+
+    def test_fusion_halves_uncontended_messages(self, migratory_refined,
+                                                migratory_refined_plain):
+        from repro.sim import AccessClass, TraceWorkload
+
+        def run(refined):
+            trace = TraceWorkload([(10.0, 0, AccessClass.ACQUIRE)])
+            return Simulator(refined, 1, trace, seed=0).run(
+                until=1000).total_messages
+
+        assert run(migratory_refined) * 2 == run(migratory_refined_plain)

@@ -1,0 +1,57 @@
+"""Property-based tests for the channel model (FIFO/persistence laws)."""
+
+from hypothesis import given, strategies as st
+
+from repro.semantics.network import ACK, NACK, NOTE, REPL, REQ, Channels, Msg
+
+messages = st.builds(
+    Msg,
+    kind=st.sampled_from([REQ, ACK, NACK, REPL, NOTE]),
+    msg=st.one_of(st.none(), st.sampled_from(["req", "gr", "inv"])),
+    payload=st.one_of(st.none(), st.integers(0, 3)),
+)
+
+
+class TestFifoLaws:
+    @given(st.lists(messages, max_size=8))
+    def test_pop_order_equals_push_order(self, msgs):
+        ch = Channels.empty(1)
+        for msg in msgs:
+            ch = ch.send_to_home(0, msg)
+        popped = []
+        while ch.queues[Channels.to_home(0)]:
+            msg, ch = ch.pop(Channels.to_home(0))
+            popped.append(msg)
+        assert popped == msgs
+
+    @given(st.lists(st.tuples(st.integers(0, 2), messages), max_size=12))
+    def test_channels_independent(self, sends):
+        ch = Channels.empty(3)
+        expected: dict[int, list[Msg]] = {0: [], 1: [], 2: []}
+        for remote, msg in sends:
+            ch = ch.send_to_home(remote, msg)
+            expected[remote].append(msg)
+        for remote in range(3):
+            assert list(ch.queues[Channels.to_home(remote)]) == \
+                expected[remote]
+
+    @given(st.lists(messages, max_size=6))
+    def test_total_in_flight_counts(self, msgs):
+        ch = Channels.empty(2)
+        for i, msg in enumerate(msgs):
+            if i % 2:
+                ch = ch.send_to_home(i % 2, msg)
+            else:
+                ch = ch.send_to_remote(i % 2, msg)
+        assert ch.total_in_flight == len(msgs)
+        assert len(list(ch.in_flight())) == len(msgs)
+
+    @given(st.lists(messages, min_size=1, max_size=6))
+    def test_persistence(self, msgs):
+        ch = Channels.empty(1)
+        for msg in msgs:
+            ch = ch.send_to_home(0, msg)
+        before = ch
+        _msg, after = ch.pop(Channels.to_home(0))
+        assert before.total_in_flight == len(msgs)
+        assert after.total_in_flight == len(msgs) - 1

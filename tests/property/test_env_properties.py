@@ -1,0 +1,48 @@
+"""Property-based tests for Env (persistent map laws)."""
+
+from hypothesis import given, strategies as st
+
+from repro.csp.env import Env
+
+keys = st.text(alphabet="abcdefg", min_size=1, max_size=3)
+values = st.one_of(st.integers(-5, 5), st.none(),
+                   st.frozensets(st.integers(0, 3), max_size=3))
+envs = st.dictionaries(keys, values, max_size=5).map(Env)
+
+
+class TestMapLaws:
+    @given(envs, keys, values)
+    def test_set_then_get(self, env, key, value):
+        declared = Env({**env.as_dict(), key: None})
+        assert declared.set(key, value)[key] == value
+
+    @given(envs, keys, values)
+    def test_set_preserves_other_keys(self, env, key, value):
+        declared = Env({**env.as_dict(), key: None})
+        updated = declared.set(key, value)
+        for other in declared:
+            if other != key:
+                assert updated[other] == declared[other]
+
+    @given(envs, keys, values, values)
+    def test_last_set_wins(self, env, key, v1, v2):
+        declared = Env({**env.as_dict(), key: None})
+        assert declared.set(key, v1).set(key, v2)[key] == v2
+
+    @given(envs)
+    def test_hash_equals_on_reconstruction(self, env):
+        clone = Env(env.as_dict())
+        assert clone == env
+        assert hash(clone) == hash(env)
+
+    @given(envs, keys, values)
+    def test_original_untouched(self, env, key, value):
+        declared = Env({**env.as_dict(), key: None})
+        snapshot = declared.as_dict()
+        declared.set(key, value)
+        assert declared.as_dict() == snapshot
+
+    @given(envs)
+    def test_iteration_sorted(self, env):
+        listed = list(env)
+        assert listed == sorted(listed)

@@ -1,0 +1,110 @@
+"""Property-based tests for symmetry normalization.
+
+The defining algebraic property: normalization is invariant under remote
+permutations — permuting a state's remote identities (consistently through
+envs, buffers, channels) and normalizing gives the same representative as
+normalizing the original.  Checked on states sampled from real reachable
+sets under random permutations.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import AsyncSystem, RendezvousSystem, explore, migratory_protocol
+from repro.check.symmetry import normalize
+from repro.protocols.symmetry import MIGRATORY_SYMMETRY
+from repro.csp.env import Env
+from repro.semantics.asynchronous import AsyncState, BufEntry, HomeNode
+from repro.semantics.network import Channels
+from repro.semantics.state import ProcState, RvState
+
+N = 3
+
+_protocol = migratory_protocol()
+_rv_states = list(explore(RendezvousSystem(_protocol, N),
+                          keep_graph=True).graph)
+
+from repro import refine  # noqa: E402
+
+_async_states = list(explore(AsyncSystem(refine(_protocol), N),
+                             keep_graph=True).graph)
+
+
+def permute_rv(state: RvState, perm: list[int]) -> RvState:
+    """Apply a remote permutation consistently (old i -> perm[i])."""
+    remotes = [None] * N
+    for old, proc in enumerate(state.remotes):
+        remotes[perm[old]] = proc
+    changes = {}
+    for var in ("o", "j"):
+        value = state.home.env[var]
+        if isinstance(value, int):
+            changes[var] = perm[value]
+    env = state.home.env.update(changes) if changes else state.home.env
+    return RvState(home=ProcState(state.home.state, env),
+                   remotes=tuple(remotes))
+
+
+def permute_async(state: AsyncState, perm: list[int]) -> AsyncState:
+    remotes = [None] * N
+    for old, node in enumerate(state.remotes):
+        remotes[perm[old]] = node
+    queues = [()] * (2 * N)
+    for old in range(N):
+        queues[Channels.to_remote(perm[old])] = \
+            state.channels.queues[Channels.to_remote(old)]
+        queues[Channels.to_home(perm[old])] = \
+            state.channels.queues[Channels.to_home(old)]
+    buffer = tuple(
+        BufEntry(sender=perm[e.sender] if isinstance(e.sender, int)
+                 else e.sender, msg=e.msg, payload=e.payload, note=e.note)
+        for e in state.home.buffer)
+    changes = {}
+    for var in ("o", "j"):
+        value = state.home.env[var]
+        if isinstance(value, int):
+            changes[var] = perm[value]
+    env = state.home.env.update(changes) if changes else state.home.env
+    awaiting = (perm[state.home.awaiting]
+                if isinstance(state.home.awaiting, int)
+                else state.home.awaiting)
+    home = HomeNode(state=state.home.state, env=env, mode=state.home.mode,
+                    out_idx=state.home.out_idx, awaiting=awaiting,
+                    pending_out=state.home.pending_out, buffer=buffer)
+    return AsyncState(home=home, remotes=tuple(remotes),
+                      channels=Channels(queues=tuple(queues)))
+
+
+perms = st.permutations(list(range(N)))
+
+
+class TestOrbitInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(_rv_states), perms)
+    def test_rv_normalization_permutation_invariant(self, state, perm):
+        permuted = permute_rv(state, list(perm))
+        assert normalize(state, MIGRATORY_SYMMETRY) == \
+            normalize(permuted, MIGRATORY_SYMMETRY)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(_async_states), perms)
+    def test_async_normalization_permutation_invariant(self, state, perm):
+        permuted = permute_async(state, list(perm))
+        assert normalize(state, MIGRATORY_SYMMETRY) == \
+            normalize(permuted, MIGRATORY_SYMMETRY)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(_async_states))
+    def test_idempotence(self, state):
+        once = normalize(state, MIGRATORY_SYMMETRY)
+        assert normalize(once, MIGRATORY_SYMMETRY) == once
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(_async_states), perms)
+    def test_permutation_preserves_env_sanity(self, state, perm):
+        """The permutation helper itself keeps the env well-formed."""
+        permuted = permute_async(state, list(perm))
+        for var in ("o", "j"):
+            value = permuted.home.env[var]
+            assert value is None or 0 <= value < N

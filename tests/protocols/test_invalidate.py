@@ -1,0 +1,131 @@
+"""Protocol tests: invalidate (paper Table 3's second protocol)."""
+
+import pytest
+
+from repro import (
+    AsyncSystem,
+    INVALIDATE_SPEC,
+    RendezvousSystem,
+    assert_safe,
+    async_structural_invariants,
+    check_progress,
+    coherence_invariants,
+    explore,
+    invalidate_protocol,
+)
+from repro.protocols.invariants import holders
+from repro.semantics.rendezvous import RendezvousStep, TauStep
+from repro.semantics.state import HOME_ID
+
+
+class TestStructure:
+    def test_remote_states(self, invalidate):
+        assert set(invalidate.remote.states) == {
+            "I", "I.r", "I.grR", "I.w", "I.grW",
+            "S", "S.ev", "S.ia", "M", "M.lr", "M.id"}
+
+    def test_home_tracks_sharers_in_a_set(self, invalidate):
+        assert invalidate.home.initial_env["S"] == frozenset()
+
+    def test_messages(self, invalidate):
+        assert invalidate.message_types == frozenset(
+            {"reqR", "reqW", "grR", "grW", "evS", "invS", "IA",
+             "inv", "ID", "LR"})
+
+
+class TestRendezvousVerification:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_safe_and_coherent(self, invalidate, n):
+        result = explore(RendezvousSystem(invalidate, n),
+                         name=f"invalidate-rv-{n}",
+                         invariants=coherence_invariants(INVALIDATE_SPEC))
+        assert assert_safe(result).ok
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_progress(self, invalidate, n):
+        assert check_progress(RendezvousSystem(invalidate, n)).ok
+
+    def test_growth_is_much_faster_than_migratory(self, migratory,
+                                                  invalidate):
+        """Table 3: invalidate is far more expensive at equal node count
+        (sharer subsets + per-remote intent bits)."""
+        mig = [explore(RendezvousSystem(migratory, n)).n_states
+               for n in (2, 4)]
+        inv = [explore(RendezvousSystem(invalidate, n)).n_states
+               for n in (2, 4)]
+        assert inv[0] > 10 * mig[0]
+        assert inv[1] / inv[0] > mig[1] / mig[0]
+
+
+class TestAsyncVerification:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_safe_and_coherent(self, invalidate_refined, n):
+        invariants = (coherence_invariants(INVALIDATE_SPEC)
+                      + async_structural_invariants(2))
+        result = explore(AsyncSystem(invalidate_refined, n),
+                         name=f"invalidate-async-{n}", invariants=invariants)
+        assert assert_safe(result).ok
+
+    def test_progress(self, invalidate_refined):
+        assert check_progress(AsyncSystem(invalidate_refined, 2)).ok
+
+
+class TestShareThenInvalidateScenario:
+    def drive(self, system, state, action):
+        return system.apply(state, action)
+
+    def test_two_readers_then_writer(self, invalidate):
+        system = RendezvousSystem(invalidate, 3)
+        s = system.initial_state()
+        # r0 and r1 take read copies
+        for i in (0, 1):
+            s = self.drive(s, s, None) if False else s
+            s = system.apply(s, TauStep(proc=i, label="wantR"))
+            s = system.apply(s, RendezvousStep(i, HOME_ID, "reqR"))
+            s = system.apply(s, RendezvousStep(HOME_ID, i, "grR",
+                                               payload="DATA"))
+        assert s.home.state == "Sh"
+        assert s.home.env["S"] == frozenset({0, 1})
+        assert holders(s, INVALIDATE_SPEC.shared) == [0, 1]
+        # r2 wants to write: home invalidates both sharers
+        s = system.apply(s, TauStep(proc=2, label="wantW"))
+        s = system.apply(s, RendezvousStep(2, HOME_ID, "reqW"))
+        assert s.home.state == "W.chk"
+        s = system.apply(s, TauStep(proc=HOME_ID, label="more"))
+        assert s.home.env["t0"] == 0
+        s = system.apply(s, RendezvousStep(HOME_ID, 0, "invS"))
+        s = system.apply(s, RendezvousStep(0, HOME_ID, "IA"))
+        s = system.apply(s, TauStep(proc=HOME_ID, label="more"))
+        s = system.apply(s, RendezvousStep(HOME_ID, 1, "invS"))
+        s = system.apply(s, RendezvousStep(1, HOME_ID, "IA"))
+        s = system.apply(s, TauStep(proc=HOME_ID, label="done"))
+        s = system.apply(s, RendezvousStep(HOME_ID, 2, "grW",
+                                           payload="DATA"))
+        assert s.home.state == "E" and s.home.env["o"] == 2
+        assert holders(s, INVALIDATE_SPEC.exclusive) == [2]
+        assert holders(s, INVALIDATE_SPEC.shared) == []
+
+    def test_sharer_eviction_races_invalidation(self, invalidate):
+        """A sharer evicting during the W loop is absorbed by evS guards."""
+        system = RendezvousSystem(invalidate, 2)
+        s = system.initial_state()
+        s = system.apply(s, TauStep(proc=0, label="wantR"))
+        s = system.apply(s, RendezvousStep(0, HOME_ID, "reqR"))
+        s = system.apply(s, RendezvousStep(HOME_ID, 0, "grR", payload="DATA"))
+        s = system.apply(s, TauStep(proc=1, label="wantW"))
+        s = system.apply(s, RendezvousStep(1, HOME_ID, "reqW"))
+        s = system.apply(s, TauStep(proc=HOME_ID, label="more"))
+        # r0 decides to evict before the invS rendezvous can happen
+        s = system.apply(s, TauStep(proc=0, label="evict"))
+        assert s.home.state == "W.send"
+        s = system.apply(s, RendezvousStep(0, HOME_ID, "evS"))
+        s = system.apply(s, TauStep(proc=HOME_ID, label="done"))
+        s = system.apply(s, RendezvousStep(HOME_ID, 1, "grW", payload="DATA"))
+        assert s.home.env["o"] == 1
+
+
+class TestUpgradeByComposition:
+    def test_sharer_must_evict_before_writing(self, invalidate):
+        """The invalidate remote has no direct S -> M transition."""
+        s_state = invalidate.remote.state("S")
+        assert all(g.to in ("S.ev", "S.ia") for g in s_state.guards)

@@ -1,0 +1,108 @@
+"""Tests for the invariant library itself, including failure injection."""
+
+from repro.csp.env import Env
+from repro.protocols.invariants import (
+    INVALIDATE_SPEC,
+    MIGRATORY_SPEC,
+    CoherenceSpec,
+    async_structural_invariants,
+    coherence_invariants,
+    holders,
+)
+from repro.semantics.asynchronous import (
+    AsyncState,
+    BufEntry,
+    HomeNode,
+    RemoteNode,
+    TRANS,
+)
+from repro.semantics.network import ACK, Channels, Msg
+from repro.semantics.state import ProcState, RvState
+
+
+def rv_state(home_state, *remote_states):
+    return RvState(home=ProcState(home_state, Env()),
+                   remotes=tuple(ProcState(s, Env()) for s in remote_states))
+
+
+def async_state(remotes, buffer=(), channels=None, capacity_n=None):
+    n = len(remotes)
+    return AsyncState(
+        home=HomeNode(state="F", env=Env(), buffer=tuple(buffer)),
+        remotes=tuple(remotes),
+        channels=channels or Channels.empty(n),
+    )
+
+
+class TestHolders:
+    def test_rv_level_counts_states(self):
+        state = rv_state("E", "V", "I", "V.lr")
+        assert holders(state, MIGRATORY_SPEC.exclusive) == [0, 2]
+
+    def test_async_level_ignores_transient_nodes(self):
+        remotes = [
+            RemoteNode(state="V", env=Env()),
+            RemoteNode(state="V.lr", env=Env(), mode=TRANS, pending_out=0),
+        ]
+        state = async_state(remotes)
+        assert holders(state, MIGRATORY_SPEC.exclusive) == [0]
+
+
+class TestCoherenceInvariantInjection:
+    def test_two_writers_flagged(self):
+        name_to_fn = dict(coherence_invariants(MIGRATORY_SPEC))
+        single_writer = name_to_fn["migratory: single-writer"]
+        assert single_writer(rv_state("E", "V", "I"))
+        assert not single_writer(rv_state("E", "V", "V"))
+
+    def test_writer_with_reader_flagged(self):
+        name_to_fn = dict(coherence_invariants(INVALIDATE_SPEC))
+        swmr = name_to_fn["invalidate: no readers while a writer exists"]
+        assert swmr(rv_state("E", "M", "I"))
+        assert swmr(rv_state("Sh", "S", "S"))
+        assert not swmr(rv_state("E", "M", "S"))
+
+    def test_spec_without_shared_states_swmr_trivial(self):
+        spec = CoherenceSpec(name="x", exclusive=frozenset({"V"}))
+        swmr = dict(coherence_invariants(spec))[
+            "x: no readers while a writer exists"]
+        assert swmr(rv_state("E", "V", "V"))  # only single-writer can fail
+
+
+class TestStructuralInvariantInjection:
+    def _funcs(self, k=2):
+        return dict(async_structural_invariants(k))
+
+    def test_buffer_capacity(self):
+        check = self._funcs(2)["home buffer within capacity"]
+        ok = async_state([RemoteNode("I", Env())],
+                         buffer=[BufEntry(0, "req"), BufEntry(0, "LR")])
+        assert check(ok)
+        over = async_state([RemoteNode("I", Env())],
+                           buffer=[BufEntry(0, "req")] * 3)
+        assert not check(over)
+
+    def test_notes_exempt_from_capacity(self):
+        check = self._funcs(2)["home buffer within capacity"]
+        state = async_state(
+            [RemoteNode("I", Env())],
+            buffer=[BufEntry(0, "req"), BufEntry(0, "req"),
+                    BufEntry(0, "LR", note=True)])
+        assert check(state)
+
+    def test_handshake_discipline(self):
+        check = self._funcs()["per-channel handshake discipline"]
+        ok = async_state([RemoteNode("I", Env())],
+                         channels=Channels.empty(1).send_to_remote(
+                             0, Msg(kind=ACK)))
+        assert check(ok)
+        double = Channels.empty(1).send_to_remote(0, Msg(kind=ACK)) \
+            .send_to_remote(0, Msg(kind=ACK))
+        assert not check(async_state([RemoteNode("I", Env())],
+                                     channels=double))
+
+    def test_transient_remote_with_buffer_flagged(self):
+        check = self._funcs()["transient remotes hold no buffered request"]
+        bad = async_state([RemoteNode("I", Env(), mode=TRANS, pending_out=0,
+                                      buf=BufEntry("h", "inv"))])
+        assert not check(bad)

@@ -1,0 +1,130 @@
+"""Unit tests for the section 4 abstraction function (repro.refine.abstraction)."""
+
+import pytest
+
+from repro import RefinementConfig, refine
+from repro.protocols.handwritten import handwritten_migratory
+from repro.refine.abstraction import AbstractionUndefined, abstract_state
+from repro.semantics.asynchronous import (
+    AsyncSystem,
+    DeliverToHome,
+    HomeStep,
+    RemoteSend,
+)
+from repro.semantics.rendezvous import RendezvousSystem
+
+
+def find_step(system, state, predicate):
+    matches = [s for s in system.steps(state) if predicate(s)]
+    assert matches, [s.action.describe() for s in system.steps(state)]
+    return matches[0]
+
+
+class TestInitialState:
+    def test_initial_abs_equals_rendezvous_initial(self, migratory_refined):
+        system = AsyncSystem(migratory_refined, 2)
+        rv = RendezvousSystem(migratory_refined.protocol, 2)
+        assert abstract_state(system, system.initial_state()) == \
+            rv.initial_state()
+
+
+class TestRule1RequestsDiscarded:
+    def test_inflight_request_rewinds_sender(self, migratory_refined):
+        system = AsyncSystem(migratory_refined, 2)
+        init = system.initial_state()
+        sent = find_step(system, init,
+                         lambda s: isinstance(s.action, RemoteSend)
+                         and s.action.remote == 0).state
+        # r0 is transient with its req in flight; abs discards both
+        assert abstract_state(system, sent) == abstract_state(system, init)
+
+    def test_buffered_request_rewinds_sender(self, migratory_refined):
+        system = AsyncSystem(migratory_refined, 2)
+        init = system.initial_state()
+        state = find_step(system, init,
+                          lambda s: isinstance(s.action, RemoteSend)
+                          and s.action.remote == 0).state
+        state = find_step(system, state,
+                          lambda s: isinstance(s.action, DeliverToHome)).state
+        assert state.home.buffer  # now buffered rather than in flight
+        assert abstract_state(system, state) == abstract_state(system, init)
+
+
+class TestRule2AcksFastForward:
+    def test_ack_in_flight_advances_target(self, migratory_refined_plain):
+        system = AsyncSystem(migratory_refined_plain, 1)
+        state = system.initial_state()
+        state = find_step(system, state,
+                          lambda s: isinstance(s.action, RemoteSend)).state
+        state = find_step(system, state,
+                          lambda s: isinstance(s.action, DeliverToHome)).state
+        consumed = find_step(
+            system, state,
+            lambda s: isinstance(s.action, HomeStep)
+            and s.action.kind == "C1").state
+        # ACK to r0 in flight: abs must show the req rendezvous complete
+        abs_state = abstract_state(system, consumed)
+        assert abs_state.remotes[0].state == "I.gr"
+        assert abs_state.home.state == "F1"
+
+    def test_half_forward_for_fused_request(self, migratory_refined):
+        system = AsyncSystem(migratory_refined, 1)
+        state = system.initial_state()
+        state = find_step(system, state,
+                          lambda s: isinstance(s.action, RemoteSend)).state
+        state = find_step(system, state,
+                          lambda s: isinstance(s.action, DeliverToHome)).state
+        consumed = find_step(
+            system, state,
+            lambda s: isinstance(s.action, HomeStep)
+            and s.action.kind == "C1").state
+        # no ack exists (fused); the requester is half-forwarded to the
+        # reply-waiting state
+        abs_state = abstract_state(system, consumed)
+        assert abs_state.remotes[0].state == "I.gr"
+        assert abs_state.home.state == "F1"
+
+    def test_reply_in_flight_fast_forwards_through_both(self, migratory_refined):
+        system = AsyncSystem(migratory_refined, 1)
+        state = system.initial_state()
+        for predicate in (
+            lambda s: isinstance(s.action, RemoteSend),
+            lambda s: isinstance(s.action, DeliverToHome),
+            lambda s: isinstance(s.action, HomeStep) and s.action.kind == "C1",
+            lambda s: isinstance(s.action, HomeStep) and s.action.kind == "REPLY",
+        ):
+            state = find_step(system, state, predicate).state
+        abs_state = abstract_state(system, state)
+        assert abs_state.remotes[0].state == "V"
+        assert abs_state.home.state == "E"
+
+
+class TestFireAndForgetUndefined:
+    def test_note_in_flight_raises(self):
+        refined = handwritten_migratory()
+        system = AsyncSystem(refined, 1)
+        state = system.initial_state()
+        # drive r0 into V, then evict: the LR is sent fire-and-forget
+        for predicate in (
+            lambda s: isinstance(s.action, RemoteSend),
+            lambda s: isinstance(s.action, DeliverToHome),
+            lambda s: isinstance(s.action, HomeStep) and s.action.kind == "C1",
+            lambda s: isinstance(s.action, HomeStep) and s.action.kind == "REPLY",
+            lambda s: s.action.describe().endswith("deliver h→r0"),
+            lambda s: s.action.describe() == "r0.τ:evict",
+            lambda s: isinstance(s.action, RemoteSend),
+        ):
+            state = find_step(system, state, predicate).state
+        assert any(m.kind == "NOTE" for _i, _d, m in state.channels.in_flight())
+        with pytest.raises(AbstractionUndefined):
+            abstract_state(system, state)
+
+
+class TestAbstractionTotality:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_defined_on_every_reachable_state(self, migratory_refined, n):
+        from repro.check.explorer import explore
+        system = AsyncSystem(migratory_refined, n)
+        result = explore(system, keep_graph=True, allow_deadlock=True)
+        for state in result.graph:
+            abstract_state(system, state)  # must not raise

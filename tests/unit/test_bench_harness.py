@@ -1,0 +1,59 @@
+"""Unit tests for the shared Table 3 harness (repro.bench.table3)."""
+
+from repro.bench.table3 import (
+    PAPER_TABLE3,
+    Table3Row,
+    render_table3,
+    table3_rows,
+)
+from repro.check.stats import ExplorationResult
+
+
+def fake_result(n_states, completed=True):
+    return ExplorationResult(system_name="x", n_states=n_states,
+                             n_transitions=n_states * 2, seconds=0.5,
+                             completed=completed,
+                             stop_reason=None if completed else "budget")
+
+
+class TestPaperValues:
+    def test_all_six_rows_present(self):
+        assert len(PAPER_TABLE3) == 6
+        assert PAPER_TABLE3[("Migratory", 2)] == ("23163/2.84", "54/0.1")
+        assert PAPER_TABLE3[("Invalidate", 6)] == ("Unfinished",
+                                                   "228334/18.4")
+
+
+class TestRow:
+    def test_paper_cells_lookup(self):
+        row = Table3Row("Migratory", 4, fake_result(10), fake_result(5))
+        assert row.paper_cells == ("Unfinished", "235/0.4")
+
+    def test_unknown_row_degrades(self):
+        row = Table3Row("Migratory", 3, fake_result(10), fake_result(5))
+        assert row.paper_cells == ("?", "?")
+
+
+class TestRendering:
+    def test_render_with_prebuilt_rows(self):
+        rows = [Table3Row("Migratory", 2, fake_result(100),
+                          fake_result(10)),
+                Table3Row("Invalidate", 6, fake_result(0, completed=False),
+                          fake_result(50))]
+        text = render_table3(rows=rows, budget=123)
+        assert "Table 3" in text and "123" in text
+        assert "100/0.50" in text
+        assert "Unfinished" in text
+        assert "23163/2.84" in text  # paper column alongside
+
+    def test_tiny_budget_run(self):
+        rows = table3_rows(budget=300, time_budget=15)
+        assert len(rows) == 6
+        assert {r.protocol for r in rows} == {"Migratory", "Invalidate"}
+        # with a 300-state budget the small cells complete, the big don't
+        migratory2 = next(r for r in rows
+                          if (r.protocol, r.n) == ("Migratory", 2))
+        assert migratory2.rendezvous.completed
+        invalidate4 = next(r for r in rows
+                           if (r.protocol, r.n) == ("Invalidate", 4))
+        assert not invalidate4.asynchronous.completed

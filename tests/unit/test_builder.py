@@ -1,0 +1,101 @@
+"""Unit tests for the fluent builder (repro.csp.builder)."""
+
+import pytest
+
+from repro.csp.ast import AnySender, ProcessKind, VarTarget
+from repro.csp.builder import ProcessBuilder, inp, out, protocol, tau
+from repro.errors import SpecError
+
+
+class TestProcessBuilder:
+    def test_first_state_is_initial(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", tau("t", to="b"))
+        b.state("b", out("m", to="a"))
+        assert b.build().initial_state == "a"
+
+    def test_explicit_initial_overrides(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", tau("t", to="b"))
+        b.state("b", out("m", to="a"), initial=True)
+        assert b.build().initial_state == "b"
+
+    def test_variables_become_initial_env(self):
+        b = ProcessBuilder.remote("r", d=0, flag=None)
+        b.state("a", tau("t", to="a"))
+        env = b.build().initial_env
+        assert env["d"] == 0 and env["flag"] is None
+
+    def test_kind_recorded(self):
+        b = ProcessBuilder.home("h")
+        b.state("a", inp("m", sender=AnySender(), to="a"))
+        assert b.build().kind == ProcessKind.HOME
+
+    def test_duplicate_state_rejected(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", tau("t", to="a"))
+        with pytest.raises(SpecError):
+            b.state("a", tau("t", to="a"))
+
+    def test_empty_process_rejected(self):
+        with pytest.raises(SpecError):
+            ProcessBuilder.remote("r").build()
+
+    def test_dangling_target_rejected_at_build(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", tau("t", to="ghost"))
+        with pytest.raises(SpecError):
+            b.build()
+
+    def test_chaining(self):
+        proc = (ProcessBuilder.remote("r")
+                .state("a", tau("t", to="b"))
+                .state("b", out("m", to="a"))
+                .build())
+        assert set(proc.states) == {"a", "b"}
+
+
+class TestAddressingChecks:
+    def test_home_output_needs_target(self):
+        b = ProcessBuilder.home("h")
+        with pytest.raises(SpecError):
+            b.state("a", out("m", to="a"))
+
+    def test_home_input_needs_sender(self):
+        b = ProcessBuilder.home("h")
+        with pytest.raises(SpecError):
+            b.state("a", inp("m", to="a"))
+
+    def test_remote_output_rejects_target(self):
+        b = ProcessBuilder.remote("r")
+        with pytest.raises(SpecError):
+            b.state("a", out("m", target=VarTarget("j"), to="a"))
+
+    def test_remote_input_rejects_sender(self):
+        b = ProcessBuilder.remote("r")
+        with pytest.raises(SpecError):
+            b.state("a", inp("m", sender=AnySender(), to="a"))
+
+    def test_remote_input_rejects_bind_sender(self):
+        b = ProcessBuilder.remote("r")
+        with pytest.raises(SpecError):
+            b.state("a", inp("m", bind_sender="who", to="a"))
+
+
+class TestProtocolAssembly:
+    def test_accepts_builders(self):
+        h = ProcessBuilder.home("h")
+        h.state("a", inp("m", sender=AnySender(), to="a"))
+        r = ProcessBuilder.remote("r")
+        r.state("a", out("m", to="a"))
+        proto = protocol("p", h, r)
+        assert proto.name == "p"
+        assert proto.home.kind == ProcessKind.HOME
+
+    def test_accepts_prebuilt_processes(self):
+        h = ProcessBuilder.home("h")
+        h.state("a", inp("m", sender=AnySender(), to="a"))
+        r = ProcessBuilder.remote("r")
+        r.state("a", out("m", to="a"))
+        proto = protocol("p", h.build(), r.build())
+        assert proto.remote.name == "r"

@@ -1,0 +1,114 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "mosi"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["verify", "migratory"])
+        assert args.nodes == 2 and args.buffer == 2
+        assert args.level == "rendezvous"
+
+
+class TestVerifyCommand:
+    def test_rendezvous_ok(self, capsys):
+        assert main(["verify", "migratory", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+
+    def test_async_ok(self, capsys):
+        assert main(["verify", "migratory", "--level", "async",
+                     "-n", "2"]) == 0
+
+    def test_budget_unfinished_nonzero_exit(self, capsys):
+        code = main(["verify", "invalidate", "--level", "async",
+                     "-n", "3", "--budget", "500"])
+        assert code == 1
+        assert "UNFINISHED" in capsys.readouterr().out
+
+    def test_progress_flag(self, capsys):
+        assert main(["verify", "migratory", "-n", "2", "--progress"]) == 0
+        assert "PROGRESS GUARANTEED" in capsys.readouterr().out
+
+
+class TestRefineCommand:
+    def test_plain(self, capsys):
+        assert main(["refine", "migratory"]) == 0
+        out = capsys.readouterr().out
+        assert "refined migratory-home" in out
+        assert "fused: req/gr" in out
+
+    def test_figures(self, capsys):
+        assert main(["refine", "migratory", "--figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "Figure 5" in out
+
+    def test_dot(self, capsys):
+        assert main(["refine", "invalidate", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_no_reqreply(self, capsys):
+        assert main(["refine", "migratory", "--no-reqreply"]) == 0
+        assert "fused" not in capsys.readouterr().out.splitlines()[0]
+
+
+class TestSimulateCommand:
+    def test_synthetic(self, capsys):
+        assert main(["simulate", "migratory", "-n", "3",
+                     "--until", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "rendezvous completed" in out
+
+    def test_hand_variant(self, capsys):
+        assert main(["simulate", "migratory", "--hand", "-n", "3",
+                     "--until", "2000", "--workload", "hot"]) == 0
+
+    def test_hand_requires_migratory(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "invalidate", "--hand", "--until", "100"])
+
+
+class TestSoundnessCommand:
+    def test_ok(self, capsys):
+        assert main(["soundness", "migratory", "-n", "2"]) == 0
+        assert "WEAK SIMULATION HOLDS" in capsys.readouterr().out
+
+
+class TestPoolCommand:
+    def test_pool_runs(self, capsys):
+        assert main(["pool", "migratory", "--lines", "4", "-n", "3",
+                     "--until", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "shared pool" in out
+
+
+class TestMscOption:
+    def test_simulate_with_msc(self, capsys):
+        assert main(["simulate", "migratory", "-n", "2", "--until", "300",
+                     "--msc", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "time" in out and "r0" in out
+
+
+class TestTable3Command:
+    def test_small_budget_renders(self, capsys):
+        assert main(["table3", "--budget", "2000", "--timeout", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Migratory" in out and "Invalidate" in out
+        assert "Unfinished" in out  # the tiny budget forces some cells

@@ -1,0 +1,102 @@
+"""Unit tests for the refinement engine and plan (repro.refine)."""
+
+import pytest
+
+from repro import RefinementConfig, refine
+from repro.csp.builder import ProcessBuilder, inp, out, protocol
+from repro.csp.ast import AnySender
+from repro.errors import RefinementError, ValidationError
+from repro.refine.plan import (
+    HOME_SIDE,
+    REMOTE,
+    FusedPair,
+    RefinementPlan,
+)
+
+
+class TestRefinementConfig:
+    def test_defaults_match_paper(self):
+        config = RefinementConfig()
+        assert config.home_buffer_capacity == 2
+        assert config.use_reqreply
+        assert config.reserve_progress_buffer
+        assert config.reserve_ack_buffer
+        assert config.fire_and_forget == frozenset()
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(RefinementError, match="k >= 2"):
+            RefinementConfig(home_buffer_capacity=1)
+
+
+class TestRefinementPlan:
+    def test_lookups(self):
+        plan = RefinementPlan(fused=(FusedPair("req", "gr", REMOTE),
+                                     FusedPair("inv", "ID", HOME_SIDE)))
+        assert plan.reply_of == {"req": "gr", "inv": "ID"}
+        assert plan.remote_fused_requests == frozenset({"req"})
+        assert plan.home_fused_requests == frozenset({"inv"})
+        assert plan.reply_msgs == frozenset({"gr", "ID"})
+        assert plan.is_fused_request("inv", sender_is_home=True)
+        assert not plan.is_fused_request("inv", sender_is_home=False)
+
+    def test_describe_mentions_ablation(self):
+        plan = RefinementPlan(config=RefinementConfig(
+            reserve_progress_buffer=False))
+        assert "NO progress buffer" in plan.describe()
+
+
+class TestRefine:
+    def test_validates_protocol_first(self):
+        h = ProcessBuilder.home("h")
+        h.state("a", inp("m", sender=AnySender(), to="a"))
+        r = ProcessBuilder.remote("r")
+        r.state("a", out("m1", to="a"), out("m2", to="a"))
+        with pytest.raises(ValidationError):
+            refine(protocol("bad", h, r))
+
+    def test_auto_detection_default(self, migratory):
+        refined = refine(migratory)
+        assert len(refined.plan.fused) == 2
+        assert refined.name == "migratory-async"
+
+    def test_no_reqreply_means_no_fusion(self, migratory):
+        refined = refine(migratory, RefinementConfig(use_reqreply=False))
+        assert refined.plan.fused == ()
+
+    def test_explicit_pairs_verified(self, migratory):
+        refined = refine(migratory,
+                         fused_pairs=(FusedPair("req", "gr", REMOTE),))
+        assert refined.plan.fused == (FusedPair("req", "gr", REMOTE),)
+
+    def test_bad_explicit_pair_rejected(self, migratory):
+        with pytest.raises(RefinementError, match="cannot be fused"):
+            refine(migratory, fused_pairs=(FusedPair("req", "ID", REMOTE),))
+
+    def test_explicit_pairs_with_reqreply_off_rejected(self, migratory):
+        with pytest.raises(RefinementError):
+            refine(migratory, RefinementConfig(use_reqreply=False),
+                   fused_pairs=(FusedPair("req", "gr", REMOTE),))
+
+
+class TestFireAndForget:
+    def test_lr_accepted(self, migratory):
+        refined = refine(migratory,
+                         RefinementConfig(fire_and_forget=frozenset({"LR"})))
+        assert "LR" in refined.plan.fire_and_forget
+
+    def test_unknown_message_rejected(self, migratory):
+        with pytest.raises(RefinementError, match="does not occur"):
+            refine(migratory,
+                   RefinementConfig(fire_and_forget=frozenset({"zzz"})))
+
+    def test_fused_message_rejected(self, migratory):
+        with pytest.raises(RefinementError, match="fused"):
+            refine(migratory,
+                   RefinementConfig(fire_and_forget=frozenset({"req"})))
+
+    def test_remote_received_message_rejected(self, migratory):
+        # inv flows home -> remote; the remote's single-slot buffer cannot
+        # absorb unacknowledged traffic
+        with pytest.raises(RefinementError, match="received by the remote"):
+            refine(migratory, RefinementConfig(
+                use_reqreply=False, fire_and_forget=frozenset({"inv"})))

@@ -1,0 +1,101 @@
+"""Unit tests for the immutable environment (repro.csp.env)."""
+
+import pytest
+
+from repro.csp.env import EMPTY_ENV, Env
+
+
+class TestConstruction:
+    def test_empty(self):
+        env = Env()
+        assert len(env) == 0
+        assert list(env) == []
+
+    def test_from_mapping(self):
+        env = Env({"a": 1, "b": None})
+        assert env["a"] == 1
+        assert env["b"] is None
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(TypeError):
+            Env({1: "x"})
+
+    def test_rejects_unhashable_values(self):
+        with pytest.raises(TypeError):
+            Env({"a": [1, 2]})
+
+    def test_frozenset_values_allowed(self):
+        env = Env({"S": frozenset({1, 2})})
+        assert env["S"] == frozenset({1, 2})
+
+    def test_empty_env_singleton_equals_fresh(self):
+        assert EMPTY_ENV == Env()
+
+
+class TestMappingInterface:
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            Env({"a": 1})["b"]
+
+    def test_contains(self):
+        env = Env({"a": 1})
+        assert "a" in env
+        assert "b" not in env
+
+    def test_iteration_order_is_sorted(self):
+        env = Env({"z": 1, "a": 2, "m": 3})
+        assert list(env) == ["a", "m", "z"]
+
+    def test_get_default(self):
+        env = Env({"a": 1})
+        assert env.get("b", 42) == 42
+
+    def test_as_dict_round_trip(self):
+        data = {"a": 1, "b": frozenset({3})}
+        assert Env(data).as_dict() == data
+
+
+class TestPersistence:
+    def test_set_returns_new_env(self):
+        env = Env({"a": 1})
+        env2 = env.set("a", 2)
+        assert env["a"] == 1
+        assert env2["a"] == 2
+
+    def test_set_undeclared_raises(self):
+        with pytest.raises(KeyError):
+            Env({"a": 1}).set("b", 2)
+
+    def test_update_multiple(self):
+        env = Env({"a": 1, "b": 2})
+        env2 = env.update({"a": 10, "b": 20})
+        assert (env2["a"], env2["b"]) == (10, 20)
+
+    def test_update_undeclared_raises(self):
+        with pytest.raises(KeyError):
+            Env({"a": 1}).update({"a": 2, "zzz": 3})
+
+    def test_noop_set_equal(self):
+        env = Env({"a": 1})
+        assert env.set("a", 1) == env
+
+
+class TestIdentity:
+    def test_equality_structural(self):
+        assert Env({"a": 1, "b": 2}) == Env({"b": 2, "a": 1})
+
+    def test_inequality(self):
+        assert Env({"a": 1}) != Env({"a": 2})
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Env({"a": 1, "b": 2})) == hash(Env({"b": 2, "a": 1}))
+
+    def test_usable_as_dict_key(self):
+        d = {Env({"a": 1}): "x"}
+        assert d[Env({"a": 1})] == "x"
+
+    def test_not_equal_to_plain_dict(self):
+        assert Env({"a": 1}) != {"a": 1}
+
+    def test_repr_mentions_bindings(self):
+        assert "a=1" in repr(Env({"a": 1}))

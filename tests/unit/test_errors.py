@@ -1,0 +1,56 @@
+"""Unit tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceeded,
+    CheckError,
+    PropertyViolation,
+    RefinementError,
+    ReproError,
+    SemanticsError,
+    SimulationError,
+    SpecError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        SpecError, ValidationError, SemanticsError, RefinementError,
+        CheckError, BudgetExceeded, PropertyViolation, SimulationError,
+    ])
+    def test_everything_is_a_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_validation_is_a_spec_error(self):
+        assert issubclass(ValidationError, SpecError)
+
+    def test_budget_and_violation_are_check_errors(self):
+        assert issubclass(BudgetExceeded, CheckError)
+        assert issubclass(PropertyViolation, CheckError)
+        # ... but neither is a subclass of the other: "no verdict" is a
+        # different thing from "unsafe"
+        assert not issubclass(BudgetExceeded, PropertyViolation)
+        assert not issubclass(PropertyViolation, BudgetExceeded)
+
+    def test_one_except_clause_catches_the_library(self):
+        with pytest.raises(ReproError):
+            raise SemanticsError("x")
+
+
+class TestPayloads:
+    def test_budget_exceeded_carries_stats(self):
+        stats = object()
+        exc = BudgetExceeded("over", stats=stats)
+        assert exc.stats is stats
+        assert "over" in str(exc)
+
+    def test_property_violation_carries_witness(self):
+        witness = ["trace"]
+        exc = PropertyViolation("bad", witness=witness)
+        assert exc.witness is witness
+
+    def test_defaults_are_none(self):
+        assert BudgetExceeded("x").stats is None
+        assert PropertyViolation("x").witness is None

@@ -1,0 +1,138 @@
+"""Unit tests for the explicit-state explorer (repro.check.explorer)."""
+
+from repro.check.explorer import explore
+
+
+class ChainSystem:
+    """0 -> 1 -> ... -> n (a deadlock at the end unless looped)."""
+
+    def __init__(self, n, loop=False):
+        self.n = n
+        self.loop = loop
+
+    def initial_state(self):
+        return 0
+
+    def successors(self, state):
+        if state < self.n:
+            return [(("step", state), state + 1)]
+        return [(("loop", state), 0)] if self.loop else []
+
+
+class DiamondSystem:
+    """Branching system: 0 -> {1, 2} -> 3 -> 0."""
+
+    def initial_state(self):
+        return 0
+
+    def successors(self, state):
+        return {
+            0: [("a", 1), ("b", 2)],
+            1: [("c", 3)],
+            2: [("d", 3)],
+            3: [("e", 0)],
+        }[state]
+
+
+class TestBasicExploration:
+    def test_counts(self):
+        result = explore(ChainSystem(9, loop=True), name="chain")
+        assert result.n_states == 10
+        assert result.n_transitions == 10
+        assert result.completed and result.ok
+
+    def test_diamond_visits_each_state_once(self):
+        result = explore(DiamondSystem())
+        assert result.n_states == 4
+        assert result.n_transitions == 5
+
+    def test_deadlock_detection_with_trace(self):
+        result = explore(ChainSystem(3))
+        assert len(result.deadlocks) == 1
+        trace = result.deadlocks[0]
+        assert trace.states[-1] == 3
+        assert len(trace.steps) == 3  # BFS yields the shortest witness
+
+    def test_allow_deadlock(self):
+        result = explore(ChainSystem(3), allow_deadlock=True)
+        assert result.deadlocks == []
+        assert result.ok
+
+
+class TestBudgets:
+    def test_state_budget_marks_unfinished(self):
+        result = explore(ChainSystem(1000, loop=True), max_states=50)
+        assert not result.completed
+        assert "state budget" in result.stop_reason
+        assert result.cell() == "Unfinished"
+
+    def test_time_budget(self):
+        class Slow(ChainSystem):
+            def successors(self, state):
+                import time
+                time.sleep(0.01)
+                return super().successors(state)
+
+        result = explore(Slow(10_000, loop=True), max_seconds=0.05)
+        assert not result.completed
+        assert "time budget" in result.stop_reason
+
+
+class TestInvariants:
+    def test_violation_found_with_shortest_trace(self):
+        result = explore(ChainSystem(10, loop=True),
+                         invariants=[("below-5", lambda s: s < 5)])
+        assert len(result.violations) == 1
+        violation = result.violations[0]
+        assert violation.property_name == "below-5"
+        assert violation.states[-1] == 5
+        assert len(violation.steps) == 5
+
+    def test_stop_on_violation_halts_early(self):
+        result = explore(ChainSystem(100, loop=True),
+                         invariants=[("below-5", lambda s: s < 5)])
+        assert result.n_states < 100
+        assert not result.completed
+
+    def test_collect_all_violations(self):
+        result = explore(ChainSystem(10, loop=True),
+                         invariants=[("below-5", lambda s: s < 5),
+                                     ("below-7", lambda s: s < 7)],
+                         stop_on_violation=False)
+        names = {v.property_name for v in result.violations}
+        assert names == {"below-5", "below-7"}
+        assert result.completed
+
+    def test_initial_state_checked(self):
+        result = explore(ChainSystem(3),
+                         invariants=[("never", lambda s: False)])
+        assert result.violations
+        assert result.violations[0].states == [0]
+
+
+class TestGraphRetention:
+    def test_graph_kept_on_request(self):
+        result = explore(DiamondSystem(), keep_graph=True)
+        assert result.graph is not None
+        assert set(result.graph) == {0, 1, 2, 3}
+        assert [s for _a, s in result.graph[0]] == [1, 2]
+
+    def test_graph_absent_by_default(self):
+        assert explore(DiamondSystem()).graph is None
+
+
+class TestResultRendering:
+    def test_cell_format(self):
+        result = explore(ChainSystem(3, loop=True))
+        states, seconds = result.cell().split("/")
+        assert int(states) == 4
+        assert float(seconds) >= 0
+
+    def test_describe_mentions_status(self):
+        good = explore(ChainSystem(2, loop=True), name="tiny")
+        assert "tiny" in good.describe() and "complete" in good.describe()
+        bad = explore(ChainSystem(100, loop=True), max_states=5)
+        assert "UNFINISHED" in bad.describe()
+
+    def test_approx_bytes_positive(self):
+        assert explore(ChainSystem(5, loop=True)).approx_bytes > 0

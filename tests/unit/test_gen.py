@@ -1,0 +1,52 @@
+"""Unit tests for the random protocol generator (repro.gen)."""
+
+import pytest
+
+from repro.csp.validate import collect_violations
+from repro.gen import GeneratorParams, random_protocol
+
+
+class TestGeneratorOutputs:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_always_valid(self, seed):
+        assert collect_violations(random_protocol(seed)) == []
+
+    def test_deterministic_per_seed(self):
+        a, b = random_protocol(5), random_protocol(5)
+        assert set(a.home.states) == set(b.home.states)
+        assert a.message_types == b.message_types
+        # guard shapes identical state by state
+        for name in a.remote.states:
+            ga = [g.describe() for g in a.remote.state(name).guards]
+            gb = [g.describe() for g in b.remote.state(name).guards]
+            assert ga == gb
+
+    def test_seeds_differ(self):
+        shapes = set()
+        for seed in range(10):
+            proto = random_protocol(seed)
+            shape = tuple(
+                tuple(g.describe() for g in proto.remote.state(s).guards)
+                for s in sorted(proto.remote.states))
+            shapes.add(shape)
+        assert len(shapes) > 3
+
+    def test_params_respected(self):
+        params = GeneratorParams(n_remote_states=6, n_home_states=3,
+                                 n_remote_msgs=4, n_home_msgs=1)
+        proto = random_protocol(0, params)
+        assert len(proto.remote.states) == 6
+        assert len(proto.home.states) == 3
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorParams(n_remote_states=1)
+        with pytest.raises(ValueError):
+            GeneratorParams(n_remote_msgs=0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_internal_only_cycles_by_construction(self, seed):
+        proto = random_protocol(seed)
+        for state in proto.remote.states.values():
+            for guard in state.taus:
+                assert proto.remote.state(guard.to).is_communication

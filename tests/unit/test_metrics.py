@@ -1,0 +1,110 @@
+"""Unit tests for simulation metrics (repro.sim.metrics)."""
+
+import pytest
+
+from repro.semantics.network import ACK, NACK, REQ, Msg
+from repro.semantics.rendezvous import RendezvousStep
+from repro.semantics.state import HOME_ID
+from repro.sim.metrics import SimMetrics, jain_index
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_one_node_hogs(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_is_fair(self):
+        assert jain_index([]) == 1.0
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0, 0, 0]) == 1.0
+
+    def test_bounds(self):
+        for values in ([1, 2, 3], [7, 1], [100, 99, 98]):
+            index = jain_index(values)
+            assert 1 / len(values) <= index <= 1.0
+
+    def test_scale_invariant(self):
+        assert jain_index([1, 2, 3]) == pytest.approx(jain_index([10, 20, 30]))
+
+
+class TestSimMetricsAccumulation:
+    def _metrics(self):
+        return SimMetrics(n_remotes=3)
+
+    def test_record_sends(self):
+        m = self._metrics()
+        m.record_sends(1.0, [Msg(kind=REQ, msg="req"), Msg(kind=ACK)])
+        m.record_sends(2.0, [Msg(kind=NACK)])
+        assert m.total_messages == 3
+        assert m.messages_by_kind == {"REQ": 1, "ACK": 1, "NACK": 1}
+        assert m.messages_by_type == {"req": 1}
+
+    def test_record_completions_tracks_waits(self):
+        m = self._metrics()
+        m.record_completions(10.0, [RendezvousStep(0, HOME_ID, "req")])
+        m.record_completions(50.0, [RendezvousStep(0, HOME_ID, "req")])
+        m.record_completions(55.0, [RendezvousStep(1, HOME_ID, "req")])
+        assert m.completions_by_remote == {0: 2, 1: 1}
+        assert m.completions_by_type == {"req": 3}
+        assert m.longest_wait[0] == pytest.approx(40.0)
+        assert m.longest_wait[1] == pytest.approx(55.0)
+
+    def test_messages_per_rendezvous(self):
+        m = self._metrics()
+        m.record_sends(1.0, [Msg(kind=REQ, msg="req")] * 4)
+        m.record_completions(1.0, [RendezvousStep(0, HOME_ID, "req")] * 2)
+        assert m.messages_per_rendezvous == 2.0
+
+    def test_messages_per_rendezvous_no_completions(self):
+        m = self._metrics()
+        m.record_sends(1.0, [Msg(kind=REQ, msg="req")])
+        assert m.messages_per_rendezvous == float("inf")
+
+    def test_nack_rate(self):
+        m = self._metrics()
+        m.record_sends(1.0, [Msg(kind=REQ, msg="r"), Msg(kind=NACK),
+                             Msg(kind=NACK), Msg(kind=ACK)])
+        assert m.nack_rate == pytest.approx(0.5)
+        assert SimMetrics(n_remotes=1).nack_rate == 0.0
+
+    def test_starved_remotes(self):
+        m = self._metrics()
+        m.record_completions(1.0, [RendezvousStep(1, HOME_ID, "req")])
+        assert m.starved_remotes == [0, 2]
+
+    def test_fairness_uses_all_remotes(self):
+        m = self._metrics()
+        m.record_completions(1.0, [RendezvousStep(0, HOME_ID, "req")])
+        assert m.fairness == pytest.approx(1 / 3)
+
+    def test_buffer_occupancy(self):
+        from repro.semantics.asynchronous import BufEntry
+        m = self._metrics()
+        m.record_buffer(1.0, (BufEntry(0, "req"),))
+        m.record_buffer(2.0, (BufEntry(0, "req"), BufEntry(1, "LR",
+                                                           note=True)))
+        assert m.max_buffer_occupancy == (1, 1)
+
+    def test_latency_percentiles(self):
+        m = self._metrics()
+        for value in range(1, 101):
+            m.record_latency(float(value))
+        pct = m.latency_percentiles((50, 90, 99))
+        assert pct[50] == pytest.approx(50, abs=2)
+        assert pct[90] == pytest.approx(90, abs=2)
+        assert pct[99] == pytest.approx(99, abs=2)
+
+    def test_latency_percentiles_empty(self):
+        assert self._metrics().latency_percentiles() is None
+
+    def test_describe_contains_key_fields(self):
+        m = self._metrics()
+        m.record_sends(1.0, [Msg(kind=REQ, msg="req")])
+        m.record_completions(1.0, [RendezvousStep(0, HOME_ID, "req")])
+        m.end_time = 100.0
+        text = m.describe()
+        assert "messages/rendezvous" in text
+        assert "fairness" in text

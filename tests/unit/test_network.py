@@ -1,0 +1,75 @@
+"""Unit tests for the channel model (repro.semantics.network)."""
+
+import pytest
+
+from repro.semantics.network import ACK, NACK, NOTE, REPL, REQ, Channels, Msg
+
+
+class TestMsg:
+    def test_describe_ack_nack(self):
+        assert Msg(kind=ACK).describe() == "ack"
+        assert Msg(kind=NACK).describe() == "nack"
+
+    def test_describe_req_with_payload(self):
+        text = Msg(kind=REQ, msg="gr", payload=7).describe()
+        assert "req" in text and "gr" in text and "7" in text
+
+    def test_hashable(self):
+        assert hash(Msg(kind=REPL, msg="gr")) == hash(Msg(kind=REPL, msg="gr"))
+
+
+class TestChannels:
+    def test_empty(self):
+        ch = Channels.empty(3)
+        assert ch.n_remotes == 3
+        assert ch.total_in_flight == 0
+        assert ch.head_to_home(0) is None
+        assert ch.head_to_remote(2) is None
+
+    def test_fifo_order_per_channel(self):
+        ch = Channels.empty(1)
+        ch = ch.send_to_home(0, Msg(kind=REQ, msg="a"))
+        ch = ch.send_to_home(0, Msg(kind=REQ, msg="b"))
+        first, ch = ch.pop(Channels.to_home(0))
+        second, ch = ch.pop(Channels.to_home(0))
+        assert (first.msg, second.msg) == ("a", "b")
+
+    def test_channels_are_independent(self):
+        ch = Channels.empty(2)
+        ch = ch.send_to_home(0, Msg(kind=REQ, msg="a"))
+        ch = ch.send_to_remote(1, Msg(kind=ACK))
+        assert ch.head_to_home(0).msg == "a"
+        assert ch.head_to_home(1) is None
+        assert ch.head_to_remote(1).kind == ACK
+        assert ch.head_to_remote(0) is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            Channels.empty(1).pop(0)
+
+    def test_push_is_persistent(self):
+        ch = Channels.empty(1)
+        ch2 = ch.send_to_home(0, Msg(kind=NOTE, msg="LR"))
+        assert ch.total_in_flight == 0
+        assert ch2.total_in_flight == 1
+
+    def test_in_flight_enumeration(self):
+        ch = Channels.empty(2)
+        ch = ch.send_to_home(1, Msg(kind=REQ, msg="x"))
+        ch = ch.send_to_remote(0, Msg(kind=ACK))
+        flights = list(ch.in_flight())
+        assert (0, "to_remote", Msg(kind=ACK)) in flights
+        assert (1, "to_home", Msg(kind=REQ, msg="x")) in flights
+        assert len(flights) == 2
+
+    def test_index_helpers(self):
+        assert Channels.to_remote(3) == 6
+        assert Channels.to_home(3) == 7
+
+    def test_describe_empty(self):
+        assert Channels.empty(2).describe() == "∅"
+
+    def test_hashable_value_semantics(self):
+        a = Channels.empty(1).send_to_home(0, Msg(kind=ACK))
+        b = Channels.empty(1).send_to_home(0, Msg(kind=ACK))
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,82 @@
+"""Unit tests for the parallel explorer (repro.check.parallel)."""
+
+import pytest
+
+from repro.check.explorer import explore
+from repro.check.parallel import (
+    SystemSpec,
+    build_system,
+    explore_parallel,
+    register_factory,
+)
+
+
+class TestSystemSpec:
+    def test_config_round_trip(self):
+        spec = SystemSpec(protocol="migratory", level="async", n_remotes=2,
+                          config=(("home_buffer_capacity", 3),))
+        assert spec.config_dict() == {"home_buffer_capacity": 3}
+
+    def test_build_rendezvous(self):
+        system = build_system(SystemSpec("migratory", "rendezvous", 3))
+        assert system.n_remotes == 3
+
+    def test_build_async_with_config(self):
+        system = build_system(SystemSpec(
+            "migratory", "async", 2,
+            config=(("use_reqreply", False),)))
+        assert system.plan.fused == ()
+
+    def test_build_symmetric(self):
+        system = build_system(SystemSpec("migratory", "rendezvous", 3,
+                                         symmetry=True))
+        assert hasattr(system, "inner")
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError):
+            build_system(SystemSpec("nope", "rendezvous", 2))
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            build_system(SystemSpec("migratory", "sideways", 2))
+
+    def test_registered_factory(self):
+        from repro.protocols.migratory import migratory_protocol
+        register_factory("custom-migratory", migratory_protocol)
+        system = build_system(SystemSpec("custom-migratory",
+                                         "rendezvous", 2))
+        assert system.protocol.name == "migratory"
+
+
+class TestParallelMatchesSequential:
+    @pytest.mark.parametrize("spec", [
+        SystemSpec("migratory", "rendezvous", 4),
+        SystemSpec("migratory", "async", 3),
+        SystemSpec("invalidate", "rendezvous", 2),
+    ])
+    def test_counts_identical(self, spec):
+        sequential = explore(build_system(spec))
+        parallel = explore_parallel(spec, workers=2, fanout_threshold=8,
+                                    chunk_size=32)
+        assert parallel.n_states == sequential.n_states
+        assert parallel.n_transitions == sequential.n_transitions
+        assert parallel.completed
+
+    def test_workers_one_falls_back_to_sequential(self):
+        spec = SystemSpec("migratory", "rendezvous", 3)
+        result = explore_parallel(spec, workers=1)
+        assert result.completed
+        assert result.n_states == explore(build_system(spec)).n_states
+
+    def test_budget_respected(self):
+        spec = SystemSpec("migratory", "async", 4)
+        result = explore_parallel(spec, workers=2, max_states=500,
+                                  fanout_threshold=8)
+        assert not result.completed
+        assert "budget" in result.stop_reason
+
+    def test_symmetric_parallel(self):
+        spec = SystemSpec("migratory", "async", 3, symmetry=True)
+        sequential = explore(build_system(spec))
+        parallel = explore_parallel(spec, workers=2, fanout_threshold=8)
+        assert parallel.n_states == sequential.n_states

@@ -1,0 +1,156 @@
+"""Unit tests for safety/progress checking (repro.check.properties)."""
+
+import pytest
+
+from repro.check.explorer import explore
+from repro.check.properties import (
+    ProgressReport,
+    assert_safe,
+    check_progress,
+    tarjan_sccs,
+)
+from repro.errors import PropertyViolation
+
+
+class GraphSystem:
+    """System from an explicit labelled graph {node: [(next, progress)]}."""
+
+    def __init__(self, graph, init=0):
+        self.graph = graph
+        self.init = init
+
+    def initial_state(self):
+        return self.init
+
+    def successors(self, state):
+        return [((state, nxt), nxt) for nxt, _p in self.graph[state]]
+
+    def is_progress(self, action):
+        src, dst = action
+        return dict(self.graph[src]).get(dst, False)
+
+
+class TestTarjan:
+    def test_single_node_no_edge(self):
+        assert tarjan_sccs([[]]) == [[0]]
+
+    def test_simple_cycle(self):
+        sccs = tarjan_sccs([[1], [2], [0]])
+        assert sorted(sccs[0]) == [0, 1, 2]
+
+    def test_two_components_reverse_topological(self):
+        # 0 -> 1 <-> 2 ; component {1,2} must precede {0}
+        sccs = tarjan_sccs([[1], [2], [1]])
+        assert sorted(map(sorted, sccs), key=len) == [[0], [1, 2]]
+        assert sorted(sccs[0]) == [1, 2]
+
+    def test_self_loop(self):
+        sccs = tarjan_sccs([[0, 1], []])
+        assert [0] in sccs and [1] in sccs
+
+    def test_large_chain_no_recursion_error(self):
+        n = 50_000
+        adjacency = [[i + 1] for i in range(n - 1)] + [[]]
+        assert len(tarjan_sccs(adjacency)) == n
+
+
+class TestCheckProgress:
+    def test_progress_cycle_ok(self):
+        system = GraphSystem({0: [(1, False)], 1: [(0, True)]})
+        report = check_progress(system)
+        assert report.ok
+        assert report.n_terminal_sccs == 1
+
+    def test_livelock_detected(self):
+        # progress edge leads into a progress-free terminal cycle
+        system = GraphSystem({0: [(1, True)], 1: [(2, False)],
+                              2: [(1, False)]})
+        report = check_progress(system)
+        assert not report.ok
+        assert report.livelocks and report.livelocks[0][0] == 2
+        assert "livelock" in report.describe().lower() or "PROGRESS FAILS" in report.describe()
+
+    def test_deadlock_detected(self):
+        system = GraphSystem({0: [(1, True)], 1: []})
+        report = check_progress(system)
+        assert not report.ok
+        assert report.deadlocks == [1]
+
+    def test_non_terminal_progress_free_scc_ok(self):
+        # a progress-free cycle you can always leave is not a livelock
+        system = GraphSystem({
+            0: [(1, False), (2, True)],
+            1: [(0, False)],
+            2: [(0, True)],
+        })
+        assert check_progress(system).ok
+
+    def test_budget(self):
+        system = GraphSystem({i: [((i + 1) % 1000, True)]
+                              for i in range(1000)})
+        report = check_progress(system, max_states=10)
+        assert not report.completed
+        assert "budget" in report.describe()
+
+    def test_rendezvous_system_protocol_progress(self, migratory_rv2):
+        assert check_progress(migratory_rv2).ok
+
+    def test_async_system_protocol_progress(self, migratory_async2):
+        assert check_progress(migratory_async2).ok
+
+
+class TestAssertSafe:
+    def test_passes_through_clean_result(self, migratory_rv2):
+        result = explore(migratory_rv2)
+        assert assert_safe(result) is result
+
+    def test_raises_on_deadlock(self):
+        class Dead:
+            def initial_state(self):
+                return 0
+
+            def successors(self, state):
+                return []
+
+        with pytest.raises(PropertyViolation, match="deadlock"):
+            assert_safe(explore(Dead()))
+
+    def test_raises_on_violation_with_witness(self):
+        class Loop:
+            def initial_state(self):
+                return 0
+
+            def successors(self, state):
+                return [("go", 1 - state)]
+
+        result = explore(Loop(), invariants=[("zero", lambda s: s == 0)])
+        with pytest.raises(PropertyViolation) as excinfo:
+            assert_safe(result)
+        assert excinfo.value.witness is not None
+
+    def test_raises_budget_exceeded_on_unfinished(self):
+        from repro.errors import BudgetExceeded
+
+        class Big:
+            def initial_state(self):
+                return 0
+
+            def successors(self, state):
+                return [("go", state + 1)]
+
+        with pytest.raises(BudgetExceeded, match="incomplete") as excinfo:
+            assert_safe(explore(Big(), max_states=5))
+        assert excinfo.value.stats is not None
+
+
+class TestProgressReportRendering:
+    def test_describe_ok(self):
+        report = ProgressReport(ok=True, n_states=10, n_sccs=2,
+                                n_terminal_sccs=1)
+        assert "PROGRESS GUARANTEED" in report.describe()
+
+    def test_describe_incomplete(self):
+        report = ProgressReport(ok=False, n_states=5, n_sccs=0,
+                                n_terminal_sccs=0, completed=False,
+                                stop_reason="budget")
+        assert "incomplete" in report.describe()

@@ -1,0 +1,147 @@
+"""Unit tests for the rendezvous semantics (repro.semantics.rendezvous)."""
+
+import pytest
+
+from repro.csp.ast import AnySender, VarSender, VarTarget, DATA
+from repro.csp.builder import ProcessBuilder, inp, out, protocol, tau
+from repro.errors import SemanticsError
+from repro.semantics.rendezvous import (
+    RendezvousStep,
+    RendezvousSystem,
+    TauStep,
+)
+from repro.semantics.state import HOME_ID
+
+
+def ping_pong():
+    """Remote sends ping, home answers pong, forever."""
+    h = ProcessBuilder.home("h", j=None)
+    h.state("wait", inp("ping", sender=AnySender(), bind_sender="j",
+                        to="answer"))
+    h.state("answer", out("pong", target=VarTarget("j"),
+                          update=lambda env: env.set("j", None), to="wait"))
+    r = ProcessBuilder.remote("r")
+    r.state("send", out("ping", to="recv"))
+    r.state("recv", inp("pong", to="send"))
+    return protocol("ping-pong", h, r)
+
+
+class TestInitialState:
+    def test_initial_layout(self, migratory):
+        system = RendezvousSystem(migratory, 3)
+        init = system.initial_state()
+        assert init.home.state == "F"
+        assert [r.state for r in init.remotes] == ["I", "I", "I"]
+        assert init.n_remotes == 3
+
+    def test_requires_positive_remotes(self, migratory):
+        with pytest.raises(SemanticsError):
+            RendezvousSystem(migratory, 0)
+
+
+class TestActionEnumeration:
+    def test_ping_offers_from_every_remote(self):
+        system = RendezvousSystem(ping_pong(), 3)
+        actions = system.actions(system.initial_state())
+        assert sorted(a.active for a in actions) == [0, 1, 2]
+        assert all(isinstance(a, RendezvousStep) and a.msg == "ping"
+                   for a in actions)
+
+    def test_answer_targets_recorded_requester(self):
+        system = RendezvousSystem(ping_pong(), 2)
+        state = system.apply(system.initial_state(),
+                             RendezvousStep(active=1, passive=HOME_ID,
+                                            msg="ping"))
+        actions = system.actions(state)
+        pongs = [a for a in actions if isinstance(a, RendezvousStep)
+                 and a.msg == "pong"]
+        assert len(pongs) == 1
+        assert pongs[0].active == HOME_ID and pongs[0].passive == 1
+
+    def test_tau_enumeration(self, migratory_rw):
+        system = RendezvousSystem(migratory_rw, 2)
+        actions = system.actions(system.initial_state())
+        assert all(isinstance(a, TauStep) and a.label == "rw" for a in actions)
+        assert sorted(a.proc for a in actions) == [0, 1]
+
+    def test_var_sender_restricts_input(self, migratory):
+        # in state E, LR is only accepted from the recorded owner
+        system = RendezvousSystem(migratory, 2)
+        state = system.initial_state()
+        # drive r0 to V: req then gr
+        state = system.apply(state, RendezvousStep(0, HOME_ID, "req"))
+        state = system.apply(state, RendezvousStep(HOME_ID, 0, "gr",
+                                                   payload=DATA))
+        assert state.home.state == "E"
+        assert state.home.env["o"] == 0
+        assert state.remotes[0].state == "V"
+
+
+class TestApply:
+    def test_apply_rendezvous_moves_both_parties(self):
+        system = RendezvousSystem(ping_pong(), 2)
+        state = system.apply(system.initial_state(),
+                             RendezvousStep(active=0, passive=HOME_ID,
+                                            msg="ping"))
+        assert state.home.state == "answer"
+        assert state.home.env["j"] == 0
+        assert state.remotes[0].state == "recv"
+        assert state.remotes[1].state == "send"  # bystander untouched
+
+    def test_apply_unenabled_action_raises(self):
+        system = RendezvousSystem(ping_pong(), 2)
+        with pytest.raises(SemanticsError):
+            system.apply(system.initial_state(),
+                         RendezvousStep(active=HOME_ID, passive=0,
+                                        msg="pong"))
+
+    def test_apply_unknown_tau_raises(self):
+        system = RendezvousSystem(ping_pong(), 1)
+        with pytest.raises(SemanticsError):
+            system.apply(system.initial_state(), TauStep(proc=0, label="zz"))
+
+    def test_states_are_hashable_values(self):
+        system = RendezvousSystem(ping_pong(), 2)
+        a = system.initial_state()
+        b = system.apply(a, RendezvousStep(0, HOME_ID, "ping"))
+        c = system.apply(b, RendezvousStep(HOME_ID, 0, "pong"))
+        assert a == c  # back to the initial configuration
+        assert hash(a) == hash(c)
+        assert a != b
+
+
+class TestProgressLabelling:
+    def test_rendezvous_is_progress_tau_is_not(self, migratory_rv2):
+        assert migratory_rv2.is_progress(
+            RendezvousStep(0, HOME_ID, "req"))
+        assert not migratory_rv2.is_progress(TauStep(proc=0, label="rw"))
+
+
+class TestMigratoryWalk:
+    def test_full_migration_cycle(self, migratory):
+        """Drive the line I -> V at r0, migrate to r1 via inv/ID."""
+        system = RendezvousSystem(migratory, 2)
+        s = system.initial_state()
+        s = system.apply(s, RendezvousStep(0, HOME_ID, "req"))
+        s = system.apply(s, RendezvousStep(HOME_ID, 0, "gr", payload=DATA))
+        s = system.apply(s, RendezvousStep(1, HOME_ID, "req"))
+        assert s.home.state == "I1" and s.home.env["j"] == 1
+        s = system.apply(s, RendezvousStep(HOME_ID, 0, "inv"))
+        assert s.remotes[0].state == "V.id"
+        s = system.apply(s, RendezvousStep(0, HOME_ID, "ID", payload=DATA))
+        assert s.home.state == "I3"
+        s = system.apply(s, RendezvousStep(HOME_ID, 1, "gr", payload=DATA))
+        assert s.home.state == "E" and s.home.env["o"] == 1
+        assert s.remotes[1].state == "V"
+        assert s.remotes[0].state == "I"
+
+    def test_eviction_path(self, migratory):
+        system = RendezvousSystem(migratory, 1)
+        s = system.initial_state()
+        s = system.apply(s, RendezvousStep(0, HOME_ID, "req"))
+        s = system.apply(s, RendezvousStep(HOME_ID, 0, "gr", payload=DATA))
+        s = system.apply(s, TauStep(proc=0, label="evict"))
+        assert s.remotes[0].state == "V.lr"
+        s = system.apply(s, RendezvousStep(0, HOME_ID, "LR", payload=DATA))
+        assert s.home.state == "F"
+        assert s.home.env["o"] is None

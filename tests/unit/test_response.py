@@ -1,0 +1,126 @@
+"""Unit tests for the leads-to checker (repro.check.response)."""
+
+import pytest
+
+from repro import AsyncSystem, RefinementConfig, migratory_protocol, refine
+from repro.check.response import (
+    check_response,
+    grant_edge,
+    remote_in_state,
+)
+
+
+class GraphSystem:
+    """Explicit labelled graph {node: [(action, next)]}; completes=action."""
+
+    def __init__(self, graph, init=0):
+        self.graph = graph
+        self.init = init
+
+    def initial_state(self):
+        return self.init
+
+    def successors(self, state):
+        return list(self.graph[state])
+
+
+def edge_is(label):
+    return lambda _s, action, _c, _n: action == label
+
+
+class TestGraphLevel:
+    def test_direct_response(self):
+        system = GraphSystem({0: [("req", 1)], 1: [("grant", 0)]})
+        report = check_response(system, request=lambda s: s == 1,
+                                response=edge_is("grant"))
+        assert report.ok
+        assert report.n_request_states == 1
+
+    def test_dodgeable_via_cycle(self):
+        # from the request state you may loop on "spin" forever
+        system = GraphSystem({
+            0: [("req", 1)],
+            1: [("grant", 0), ("spin", 2)],
+            2: [("spin", 1)],
+        })
+        report = check_response(system, request=lambda s: s == 1,
+                                response=edge_is("grant"))
+        assert not report.ok
+        assert report.failure_kind == "livelock"
+
+    def test_dodgeable_via_deadlock(self):
+        system = GraphSystem({0: [("req", 1)],
+                              1: [("grant", 0), ("die", 2)],
+                              2: []})
+        report = check_response(system, request=lambda s: s == 1,
+                                response=edge_is("grant"))
+        assert not report.ok
+        assert report.failure_kind == "deadlock"
+
+    def test_unavoidable_response_through_branches(self):
+        system = GraphSystem({
+            0: [("req", 1)],
+            1: [("a", 2), ("b", 3)],
+            2: [("grant", 0)],
+            3: [("grant", 0)],
+        })
+        report = check_response(system, request=lambda s: s == 1,
+                                response=edge_is("grant"))
+        assert report.ok
+
+    def test_budget(self):
+        system = GraphSystem({i: [("go", (i + 1) % 100)]
+                              for i in range(100)})
+        report = check_response(system, request=lambda s: False,
+                                response=edge_is("x"), max_states=5)
+        assert not report.completed
+
+
+class TestOnProtocols:
+    """The paper's fairness distinction, as temporal properties."""
+
+    def test_some_remote_always_answered(self, migratory_refined):
+        """Weak fairness: *a* grant always remains achievable."""
+        system = AsyncSystem(migratory_refined, 2)
+        report = check_response(
+            system,
+            request=lambda s: True,
+            response=lambda _s, _a, completes, _n: bool(completes))
+        assert report.ok
+
+    def test_specific_remote_can_starve(self, migratory):
+        """Strong fairness fails: remote 0's wait can be dodged forever
+        (other remotes can monopolize the line) — paper section 6.
+
+        With fusion, a requesting remote is transient at control state
+        ``I`` (the grant arrives as the fused reply), so the request
+        predicate matches on the transient mode.
+        """
+        refined = refine(migratory, RefinementConfig())
+        system = AsyncSystem(refined, 3)
+        report = check_response(
+            system,
+            request=lambda s: s.remotes[0].mode == "trans"
+            and s.remotes[0].state == "I",
+            response=grant_edge(0, {"gr"}),
+            max_states=100_000)
+        assert report.completed
+        assert report.n_request_states > 0
+        assert not report.ok  # r0 may be nacked/bypassed forever
+
+    def test_single_remote_always_served(self, migratory_refined):
+        """With no competition, the request is unavoidably answered."""
+        system = AsyncSystem(migratory_refined, 1)
+        report = check_response(
+            system,
+            request=lambda s: s.remotes[0].mode == "trans"
+            and s.remotes[0].state == "I",
+            response=grant_edge(0, {"gr"}))
+        assert report.n_request_states > 0
+        assert report.ok
+
+    def test_describe(self, migratory_refined):
+        system = AsyncSystem(migratory_refined, 1)
+        report = check_response(system, request=lambda s: True,
+                                response=lambda *a: True)
+        assert "RESPONSE GUARANTEED" in report.describe()

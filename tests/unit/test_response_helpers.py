@@ -1,0 +1,49 @@
+"""Unit tests for the response-checker convenience predicates."""
+
+from repro.check.response import grant_edge, remote_in_state
+from repro.csp.env import Env
+from repro.semantics.rendezvous import RendezvousStep
+from repro.semantics.state import HOME_ID, ProcState, RvState
+
+
+def rv(*remote_states):
+    return RvState(home=ProcState("F", Env()),
+                   remotes=tuple(ProcState(s, Env())
+                                 for s in remote_states))
+
+
+class TestRemoteInState:
+    def test_matches_named_states(self):
+        predicate = remote_in_state(1, {"V", "V.lr"})
+        assert predicate(rv("I", "V"))
+        assert predicate(rv("I", "V.lr"))
+        assert not predicate(rv("V", "I"))
+
+    def test_accepts_set_or_frozenset(self):
+        assert remote_in_state(0, frozenset({"I"}))(rv("I"))
+        assert remote_in_state(0, {"I"})(rv("I"))
+
+
+class TestGrantEdge:
+    def test_matches_completion_for_remote(self):
+        predicate = grant_edge(2, {"gr"})
+        completes = (RendezvousStep(HOME_ID, 2, "gr"),)
+        assert predicate(None, None, completes, None)
+
+    def test_wrong_remote_rejected(self):
+        predicate = grant_edge(1, {"gr"})
+        completes = (RendezvousStep(HOME_ID, 2, "gr"),)
+        assert not predicate(None, None, completes, None)
+
+    def test_wrong_message_rejected(self):
+        predicate = grant_edge(2, {"gr"})
+        completes = (RendezvousStep(HOME_ID, 2, "inv"),)
+        assert not predicate(None, None, completes, None)
+
+    def test_remote_active_side_also_matches(self):
+        predicate = grant_edge(0, {"req"})
+        completes = (RendezvousStep(0, HOME_ID, "req"),)
+        assert predicate(None, None, completes, None)
+
+    def test_empty_completes(self):
+        assert not grant_edge(0, {"gr"})(None, None, (), None)

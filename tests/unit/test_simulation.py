@@ -1,0 +1,69 @@
+"""Unit tests for the Equation-1 checker (repro.check.simulation)."""
+
+import pytest
+
+from repro import RefinementConfig, refine
+from repro.check.simulation import check_simulation
+from repro.semantics.asynchronous import AsyncSystem
+
+
+class TestMigratorySimulation:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_fused_holds(self, migratory_refined, n):
+        report = check_simulation(AsyncSystem(migratory_refined, n))
+        assert report.ok
+        assert report.failures == []
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_plain_holds_at_depth_one(self, migratory_refined_plain, n):
+        """Un-fused refinement satisfies Equation 1 *exactly*."""
+        report = check_simulation(AsyncSystem(migratory_refined_plain, n),
+                                  max_depth=1)
+        assert report.ok
+        assert report.n_mapped_deep == 0
+
+    def test_fused_needs_depth_two(self, migratory_refined):
+        """Home-initiated fused pairs force the two-step form."""
+        shallow = check_simulation(AsyncSystem(migratory_refined, 2),
+                                   max_depth=1)
+        assert not shallow.ok
+        deep = check_simulation(AsyncSystem(migratory_refined, 2))
+        assert deep.ok and deep.n_mapped_deep > 0
+
+
+class TestReportContents:
+    def test_counts_partition_edges(self, migratory_refined):
+        report = check_simulation(AsyncSystem(migratory_refined, 2))
+        assert (report.n_stutters + report.n_mapped + report.n_mapped_deep
+                == report.n_edges_checked)
+        assert report.n_async_states > report.n_abstract_states
+
+    def test_describe(self, migratory_refined):
+        report = check_simulation(AsyncSystem(migratory_refined, 1))
+        assert "WEAK SIMULATION HOLDS" in report.describe()
+
+    def test_incomplete_exploration_not_ok(self, migratory_refined):
+        report = check_simulation(AsyncSystem(migratory_refined, 2),
+                                  max_states=10)
+        assert not report.ok
+        assert any("incomplete" in f for f in report.failures)
+
+
+class TestOtherProtocols:
+    def test_invalidate_holds(self, invalidate_refined):
+        report = check_simulation(AsyncSystem(invalidate_refined, 2))
+        assert report.ok
+
+    def test_msi_holds(self, msi_refined):
+        report = check_simulation(AsyncSystem(msi_refined, 2))
+        assert report.ok
+
+    def test_bigger_buffer_still_simulates(self, migratory):
+        refined = refine(migratory, RefinementConfig(home_buffer_capacity=4))
+        assert check_simulation(AsyncSystem(refined, 2)).ok
+
+    def test_no_ack_buffer_ablation_still_simulates(self, migratory):
+        """Safety survives the ablation (only progress is at risk)."""
+        refined = refine(migratory, RefinementConfig(
+            reserve_ack_buffer=False))
+        assert check_simulation(AsyncSystem(refined, 2)).ok

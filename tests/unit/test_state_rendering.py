@@ -1,0 +1,83 @@
+"""Unit tests for state describe() renderings (debugging surfaces)."""
+
+from repro.csp.env import Env
+from repro.semantics.asynchronous import (
+    AsyncState,
+    BufEntry,
+    HomeNode,
+    RemoteNode,
+    TRANS,
+)
+from repro.semantics.network import ACK, REQ, Channels, Msg
+from repro.semantics.state import HOME_ID, ProcState, RvState
+
+
+class TestProcState:
+    def test_describe_plain(self):
+        assert ProcState("V", Env()).describe() == "V"
+
+    def test_describe_with_env(self):
+        text = ProcState("E", Env({"o": 2})).describe()
+        assert text == "E[o=2]"
+
+    def test_moved_keeps_env_by_default(self):
+        proc = ProcState("A", Env({"x": 1}))
+        assert proc.moved("B").env is proc.env
+        assert proc.moved("B").state == "B"
+
+
+class TestRvState:
+    def test_describe_lists_everyone(self):
+        state = RvState(home=ProcState("F", Env()),
+                        remotes=(ProcState("I", Env()),
+                                 ProcState("V", Env())))
+        text = state.describe()
+        assert "h:F" in text and "r0:I" in text and "r1:V" in text
+
+    def test_with_remote_replaces_one(self):
+        state = RvState(home=ProcState("F", Env()),
+                        remotes=(ProcState("I", Env()),
+                                 ProcState("I", Env())))
+        updated = state.with_remote(1, ProcState("V", Env()))
+        assert updated.remotes[0].state == "I"
+        assert updated.remotes[1].state == "V"
+        assert state.remotes[1].state == "I"  # original untouched
+
+
+class TestAsyncRendering:
+    def test_home_idle_describe(self):
+        home = HomeNode(state="E", env=Env(),
+                        buffer=(BufEntry(1, "req"),))
+        text = home.describe()
+        assert "E" in text and "r1:req" in text
+
+    def test_home_transient_describe(self):
+        home = HomeNode(state="I1", env=Env(), mode=TRANS, awaiting=0,
+                        pending_out=0)
+        assert "→r0?" in home.describe()
+
+    def test_note_entries_marked(self):
+        entry = BufEntry(0, "LR", note=True)
+        assert entry.describe().startswith("~")
+
+    def test_home_buffer_entry_from_home_side(self):
+        entry = BufEntry(HOME_ID, "inv")
+        assert entry.describe() == "h:inv"
+
+    def test_remote_describe_with_buffer(self):
+        node = RemoteNode(state="V", env=Env(), buf=BufEntry("h", "inv"))
+        assert "V{h:inv}" == node.describe()
+
+    def test_remote_transient_star(self):
+        node = RemoteNode(state="I", env=Env(), mode=TRANS, pending_out=0)
+        assert node.describe() == "I*"
+
+    def test_async_state_describe_includes_network(self):
+        channels = Channels.empty(1).send_to_home(
+            0, Msg(kind=REQ, msg="req")).send_to_remote(0, Msg(kind=ACK))
+        state = AsyncState(home=HomeNode(state="F", env=Env()),
+                           remotes=(RemoteNode(state="I", env=Env()),),
+                           channels=channels)
+        text = state.describe()
+        assert "net:" in text
+        assert "r0→h" in text and "h→r0" in text

@@ -1,0 +1,143 @@
+"""Unit tests for symmetry reduction (repro.check.symmetry)."""
+
+import pytest
+
+from repro import (
+    AsyncSystem,
+    RendezvousSystem,
+    explore,
+    invalidate_protocol,
+    migratory_protocol,
+    refine,
+)
+from repro.check.symmetry import SymmetricSystem, SymmetrySpec, normalize
+from repro.errors import CheckError
+from repro.protocols.symmetry import (
+    INVALIDATE_SYMMETRY,
+    MIGRATORY_SYMMETRY,
+    MSI_SYMMETRY,
+    symmetry_spec_for,
+)
+
+
+class TestNormalizeBasics:
+    def test_initial_state_is_fixed_point(self, migratory):
+        system = RendezvousSystem(migratory, 4)
+        init = system.initial_state()
+        assert normalize(init, MIGRATORY_SYMMETRY) == init
+
+    def test_idempotent(self, migratory):
+        system = RendezvousSystem(migratory, 3)
+        state = system.initial_state()
+        for action, nxt in system.successors(state):
+            once = normalize(nxt, MIGRATORY_SYMMETRY)
+            assert normalize(once, MIGRATORY_SYMMETRY) == once
+
+    def test_orbit_members_collapse(self, migratory):
+        """Grant to r0 vs grant to r2: same orbit, same representative."""
+        from repro.semantics.rendezvous import RendezvousStep
+        from repro.semantics.state import HOME_ID
+        from repro.csp.ast import DATA
+        system = RendezvousSystem(migratory, 3)
+
+        def drive(i):
+            s = system.initial_state()
+            s = system.apply(s, RendezvousStep(i, HOME_ID, "req"))
+            s = system.apply(s, RendezvousStep(HOME_ID, i, "gr",
+                                               payload=DATA))
+            return s
+
+        assert drive(0) != drive(2)
+        assert normalize(drive(0), MIGRATORY_SYMMETRY) == \
+            normalize(drive(2), MIGRATORY_SYMMETRY)
+
+    def test_unknown_state_type_rejected(self):
+        with pytest.raises(CheckError):
+            normalize(42, MIGRATORY_SYMMETRY)
+
+    def test_spec_lookup(self):
+        assert symmetry_spec_for("migratory") is MIGRATORY_SYMMETRY
+        assert "S" in symmetry_spec_for("invalidate").set_vars
+        assert "u" in MSI_SYMMETRY.id_vars
+        with pytest.raises(KeyError):
+            symmetry_spec_for("nope")
+
+
+class TestSoundness:
+    """The reduced system reaches exactly the orbit-representatives of the
+    full system's reachable set (up to normalization ties)."""
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_rv_orbits_match(self, migratory, n):
+        system = RendezvousSystem(migratory, n)
+        full = explore(system, keep_graph=True)
+        reduced = explore(SymmetricSystem(system, MIGRATORY_SYMMETRY),
+                          keep_graph=True)
+        full_orbits = {normalize(s, MIGRATORY_SYMMETRY)
+                       for s in full.graph}
+        # the reduced run must cover every orbit and introduce none
+        reduced_states = set(reduced.graph)
+        assert {normalize(s, MIGRATORY_SYMMETRY)
+                for s in reduced_states} == full_orbits
+        assert reduced.n_states <= full.n_states
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_async_orbits_match(self, migratory_refined, n):
+        system = AsyncSystem(migratory_refined, n)
+        full = explore(system, keep_graph=True)
+        reduced = explore(SymmetricSystem(system, MIGRATORY_SYMMETRY),
+                          keep_graph=True)
+        full_orbits = {normalize(s, MIGRATORY_SYMMETRY)
+                       for s in full.graph}
+        assert {normalize(s, MIGRATORY_SYMMETRY)
+                for s in reduced.graph} == full_orbits
+
+    def test_invalidate_orbits_match(self, invalidate):
+        system = RendezvousSystem(invalidate, 3)
+        full = explore(system, keep_graph=True)
+        reduced = explore(SymmetricSystem(system, INVALIDATE_SYMMETRY),
+                          keep_graph=True)
+        full_orbits = {normalize(s, INVALIDATE_SYMMETRY)
+                       for s in full.graph}
+        assert {normalize(s, INVALIDATE_SYMMETRY)
+                for s in reduced.graph} == full_orbits
+
+    def test_symmetric_invariants_preserved(self, migratory):
+        from repro import MIGRATORY_SPEC, coherence_invariants
+        system = SymmetricSystem(RendezvousSystem(migratory, 4),
+                                 MIGRATORY_SYMMETRY)
+        result = explore(system,
+                         invariants=coherence_invariants(MIGRATORY_SPEC))
+        assert result.ok
+
+    def test_violations_still_found_under_reduction(self, migratory):
+        """An (artificial) symmetric invariant violation survives."""
+        system = SymmetricSystem(RendezvousSystem(migratory, 3),
+                                 MIGRATORY_SYMMETRY)
+        result = explore(
+            system,
+            invariants=[("nobody-ever-holds",
+                         lambda s: all(r.state != "V" for r in s.remotes))])
+        assert result.violations
+
+
+class TestReductionPower:
+    def test_migratory_rendezvous_becomes_constant(self, migratory):
+        sizes = [explore(SymmetricSystem(RendezvousSystem(migratory, n),
+                                         MIGRATORY_SYMMETRY)).n_states
+                 for n in (3, 6, 10)]
+        # idle remotes are fully interchangeable: the orbit count saturates
+        assert sizes[0] == sizes[1] == sizes[2]
+
+    def test_invalidate_reduction_large(self, invalidate):
+        full = explore(RendezvousSystem(invalidate, 4)).n_states
+        reduced = explore(SymmetricSystem(RendezvousSystem(invalidate, 4),
+                                          INVALIDATE_SYMMETRY)).n_states
+        assert reduced * 10 < full
+
+    def test_async_reduction(self, migratory_refined):
+        full = explore(AsyncSystem(migratory_refined, 4)).n_states
+        reduced = explore(
+            SymmetricSystem(AsyncSystem(migratory_refined, 4),
+                            MIGRATORY_SYMMETRY)).n_states
+        assert reduced * 10 < full

@@ -1,0 +1,123 @@
+"""Unit tests for the paper's syntactic restrictions (repro.csp.validate)."""
+
+import pytest
+
+from repro.csp.ast import AnySender, VarTarget
+from repro.csp.builder import ProcessBuilder, inp, out, protocol, tau
+from repro.csp.validate import (
+    collect_violations,
+    validate_process,
+    validate_protocol,
+)
+from repro.errors import ValidationError
+
+
+def simple_home():
+    b = ProcessBuilder.home("h")
+    b.state("a", inp("m", sender=AnySender(), to="a"))
+    return b.build()
+
+
+def simple_remote():
+    b = ProcessBuilder.remote("r")
+    b.state("a", out("m", to="a"))
+    return b.build()
+
+
+class TestWellFormedProtocolsPass:
+    def test_canonical_protocols(self, migratory, invalidate, msi):
+        for proto in (migratory, invalidate, msi):
+            assert validate_protocol(proto) is proto
+            assert collect_violations(proto) == []
+
+    def test_minimal_protocol(self):
+        assert collect_violations(
+            protocol("p", simple_home(), simple_remote())) == []
+
+
+class TestRemoteRestrictions:
+    def test_two_outputs_rejected(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", out("m1", to="a"), out("m2", to="a"))
+        with pytest.raises(ValidationError, match="single rendezvous"):
+            validate_process(b.build())
+
+    def test_output_mixed_with_input_rejected(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", out("m1", to="a"), inp("m2", to="a"))
+        with pytest.raises(ValidationError, match="output non-determinism"):
+            validate_process(b.build())
+
+    def test_output_mixed_with_tau_rejected(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", out("m1", to="a"), tau("t", to="a"))
+        with pytest.raises(ValidationError):
+            validate_process(b.build())
+
+    def test_passive_state_with_taus_allowed(self):
+        # Figure 1(c): inputs plus autonomous decisions
+        b = ProcessBuilder.remote("r")
+        b.state("a", inp("m1", to="a"), inp("m2", to="b"), tau("evict", to="b"))
+        b.state("b", out("m3", to="a"))
+        assert validate_process(b.build())
+
+
+class TestHomeRestrictions:
+    def test_generalized_guards_allowed(self):
+        b = ProcessBuilder.home("h", j=0)
+        b.state("a",
+                inp("m1", sender=AnySender(), to="a"),
+                out("m2", target=VarTarget("j"), to="a"))
+        assert validate_process(b.build())
+
+    def test_tau_in_communication_state_rejected(self):
+        b = ProcessBuilder.home("h")
+        b.state("a", inp("m1", sender=AnySender(), to="a"), tau("t", to="a"))
+        with pytest.raises(ValidationError, match="internal states"):
+            validate_process(b.build())
+
+    def test_pure_internal_state_allowed(self):
+        b = ProcessBuilder.home("h")
+        b.state("a", inp("m1", sender=AnySender(), to="i"))
+        b.state("i", tau("decide", to="a"))
+        assert validate_process(b.build())
+
+
+class TestLivenessShapeChecks:
+    def test_terminal_state_rejected(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", tau("t", to="dead"))
+        b.state("dead")
+        with pytest.raises(ValidationError, match="terminal"):
+            validate_process(b.build())
+
+    def test_internal_only_cycle_rejected(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", tau("go", to="b"))
+        b.state("b", tau("back", to="a"))
+        with pytest.raises(ValidationError, match="internal-state cycle"):
+            validate_process(b.build())
+
+    def test_internal_self_loop_rejected(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", tau("spin", to="a"))
+        with pytest.raises(ValidationError, match="internal-state cycle"):
+            validate_process(b.build())
+
+    def test_cycle_through_communication_state_allowed(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", tau("go", to="b"))
+        b.state("b", out("m", to="a"))
+        assert validate_process(b.build())
+
+
+class TestErrorAggregation:
+    def test_all_violations_reported(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", out("m1", to="a"), out("m2", to="dead"))
+        b.state("dead")
+        problems = collect_violations(
+            protocol("p", simple_home(), b.build()))
+        assert len(problems) >= 2
+        joined = "\n".join(problems)
+        assert "terminal" in joined and "single rendezvous" in joined

@@ -1,0 +1,42 @@
+"""Geometry tests for the MSC renderer: arrows point the right way."""
+
+from repro.sim.trace import TraceEvent
+from repro.viz.msc import render_msc
+
+
+def deliver(src, dst, label="msg", t=1.0):
+    return TraceEvent(time=t, kind="deliver", src=src, dst=dst, label=label)
+
+
+class TestArrowDirections:
+    def test_rightward_arrow_home_to_remote(self):
+        chart = render_msc([deliver("h", "r1", "gr")], 2)
+        row = chart.splitlines()[1]
+        assert "├" in row and "▶" in row
+        assert row.index("├") < row.index("▶")
+
+    def test_leftward_arrow_remote_to_home(self):
+        chart = render_msc([deliver("r1", "h", "req")], 2)
+        row = chart.splitlines()[1]
+        assert "◀" in row and "┤" in row
+        assert row.index("◀") < row.index("┤")
+
+    def test_label_embedded_in_arrow(self):
+        chart = render_msc([deliver("h", "r0", "hello")], 1)
+        assert "hello" in chart.splitlines()[1]
+
+    def test_bystander_lanes_keep_lifeline(self):
+        chart = render_msc([deliver("h", "r0", "m")], 3)
+        row = chart.splitlines()[1]
+        # lanes r1 and r2 are untouched: vertical bars remain
+        assert row.count("│") >= 2
+
+    def test_far_lane_arrow_spans_middle(self):
+        chart = render_msc([deliver("h", "r2", "m")], 3)
+        row = chart.splitlines()[1]
+        # the middle lanes are crossed by the arrow shaft
+        assert "─" * 10 in row
+
+    def test_time_column(self):
+        chart = render_msc([deliver("h", "r0", "m", t=42.5)], 1)
+        assert chart.splitlines()[1].startswith("42.50")

@@ -1,0 +1,116 @@
+"""Unit tests for the workload generators (repro.sim.workload)."""
+
+import pytest
+
+from repro.sim.policy import AccessClass, GatedOption, SEND, TAU
+from repro.sim.workload import (
+    HotLineWorkload,
+    SyntheticWorkload,
+    TraceWorkload,
+)
+
+
+def option(access_class, remote=0, kind=TAU, state="I", label="x"):
+    return GatedOption(remote=remote, kind=kind, state=state,
+                       label=None if kind == SEND else label,
+                       access_class=access_class)
+
+
+ACQ = option(AccessClass.ACQUIRE)
+ACQ_R = option(AccessClass.ACQUIRE_READ, label="wantR")
+ACQ_W = option(AccessClass.ACQUIRE_WRITE, label="wantW")
+UP = option(AccessClass.UPGRADE, state="S", label="wantUp")
+EVICT = option(AccessClass.EVICT, state="V", label="evict")
+
+
+class TestSyntheticWorkload:
+    def test_acquire_chosen_with_positive_delay(self):
+        workload = SyntheticWorkload(seed=1)
+        delay, chosen = workload.choose(0.0, [ACQ])
+        assert delay >= 0.0
+        assert chosen is ACQ
+
+    def test_read_write_mix_respected(self):
+        always_write = SyntheticWorkload(seed=2, write_fraction=1.0,
+                                         upgrade_fraction=0.0)
+        for _ in range(20):
+            _d, chosen = always_write.choose(0.0, [ACQ_R, ACQ_W])
+            assert chosen is ACQ_W
+        always_read = SyntheticWorkload(seed=3, write_fraction=0.0)
+        for _ in range(20):
+            _d, chosen = always_read.choose(0.0, [ACQ_R, ACQ_W])
+            assert chosen is ACQ_R
+
+    def test_eviction_offered_alone_taken(self):
+        workload = SyntheticWorkload(seed=4)
+        delay, chosen = workload.choose(0.0, [EVICT])
+        assert chosen is EVICT
+
+    def test_upgrade_preferred_when_writing(self):
+        workload = SyntheticWorkload(seed=5, write_fraction=1.0,
+                                     upgrade_fraction=1.0)
+        _d, chosen = workload.choose(0.0, [UP, EVICT])
+        assert chosen is UP
+
+    def test_no_options_none(self):
+        assert SyntheticWorkload(seed=6).choose(0.0, []) is None
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticWorkload(seed=7)
+        b = SyntheticWorkload(seed=7)
+        for _ in range(10):
+            assert a.choose(0.0, [ACQ_R, ACQ_W, EVICT]) == \
+                b.choose(0.0, [ACQ_R, ACQ_W, EVICT])
+
+
+class TestHotLineWorkload:
+    def test_always_reacquires(self):
+        workload = HotLineWorkload(seed=1)
+        for _ in range(10):
+            result = workload.choose(0.0, [ACQ])
+            assert result is not None
+
+    def test_never_evicts(self):
+        workload = HotLineWorkload(seed=2)
+        assert workload.choose(0.0, [EVICT]) is None
+
+    def test_write_fraction(self):
+        reader = HotLineWorkload(seed=3, write_fraction=0.0)
+        _d, chosen = reader.choose(0.0, [ACQ_R, ACQ_W])
+        assert chosen is ACQ_R
+
+
+class TestTraceWorkload:
+    def test_entries_fire_in_order_per_remote(self):
+        workload = TraceWorkload([(10.0, 0, AccessClass.ACQUIRE),
+                                  (50.0, 0, AccessClass.EVICT)])
+        delay, chosen = workload.choose(0.0, [ACQ])
+        assert delay == pytest.approx(10.0)
+        assert chosen.access_class == AccessClass.ACQUIRE
+        delay, chosen = workload.choose(30.0, [EVICT])
+        assert delay == pytest.approx(20.0)
+
+    def test_past_times_fire_immediately(self):
+        workload = TraceWorkload([(10.0, 0, AccessClass.ACQUIRE)])
+        delay, _chosen = workload.choose(100.0, [ACQ])
+        assert delay == 0.0
+
+    def test_exhausted_schedule_returns_none(self):
+        workload = TraceWorkload([(10.0, 0, AccessClass.ACQUIRE)])
+        workload.choose(0.0, [ACQ])
+        assert workload.choose(20.0, [ACQ]) is None
+
+    def test_non_matching_option_not_consumed(self):
+        workload = TraceWorkload([(10.0, 0, AccessClass.EVICT)])
+        assert workload.choose(0.0, [ACQ]) is None
+        # the entry is still pending for when the evict option appears
+        delay, chosen = workload.choose(0.0, [EVICT])
+        assert chosen is EVICT
+
+    def test_per_remote_schedules_independent(self):
+        workload = TraceWorkload([(10.0, 0, AccessClass.ACQUIRE),
+                                  (20.0, 1, AccessClass.ACQUIRE)])
+        d0, _ = workload.choose(0.0, [option(AccessClass.ACQUIRE, remote=0)])
+        d1, _ = workload.choose(0.0, [option(AccessClass.ACQUIRE, remote=1)])
+        assert d0 == pytest.approx(10.0)
+        assert d1 == pytest.approx(20.0)
