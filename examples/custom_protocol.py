@@ -22,10 +22,12 @@ from repro import (
     AsyncSystem,
     ProcessBuilder,
     RendezvousSystem,
+    analyze_protocol,
     assert_safe,
     check_progress,
     check_simulation,
     explore,
+    fusability_report,
     inp,
     out,
     protocol,
@@ -78,6 +80,19 @@ MAILBOX_WORKLOAD = WorkloadSpec(
 
 def main() -> None:
     proto = mailbox_protocol()
+
+    # 0. lint first: the static-analysis suite (docs/ANALYSIS.md) runs in
+    #    milliseconds and catches spec bugs before any state space exists
+    report = analyze_protocol(proto, nodes=6)
+    print(report.render_text())
+    assert report.ok, "mailbox protocol should lint clean at error severity"
+
+    #    the section 3.3 fusability report explains each candidate pair:
+    #    get/val fuses (put is not even a candidate — the depositor does
+    #    not wait for a reply, so its ack must stay)
+    print("\nfusability report:")
+    for pair_report in fusability_report(proto):
+        print(f"  {pair_report.describe()}")
 
     # 1. cheap rendezvous-level verification, incl. the token-counting
     #    deadlock-freedom argument — checked exhaustively instead of argued

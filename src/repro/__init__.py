@@ -20,6 +20,13 @@ Layering (bottom up): :mod:`repro.csp` (specification language),
 :mod:`repro.viz` (state-machine rendering).
 """
 
+from .analysis import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    analyze_protocol,
+    analyze_refined,
+)
 from .csp.ast import DATA, HOME, Protocol
 from .csp.builder import ProcessBuilder, inp, out, protocol, tau
 from .csp.env import Env
@@ -40,6 +47,7 @@ from .errors import (
 from .refine.abstraction import abstract_state
 from .refine.engine import refine
 from .refine.plan import FusedPair, RefinedProtocol, RefinementConfig
+from .refine.reqreply import fusability_report
 from .protocols.handwritten import handwritten_migratory
 from .protocols.invalidate import invalidate_protocol
 from .protocols.invariants import (
@@ -59,10 +67,12 @@ from .semantics.rendezvous import RendezvousSystem
 __version__ = "0.1.0"
 
 __all__ = [
+    "AnalysisReport",
     "AsyncSystem",
     "BudgetExceeded",
     "CheckError",
     "DATA",
+    "Diagnostic",
     "Env",
     "FusedPair",
     "HOME",
@@ -79,15 +89,19 @@ __all__ = [
     "RendezvousSystem",
     "ReproError",
     "SemanticsError",
+    "Severity",
     "SpecError",
     "ValidationError",
     "abstract_state",
+    "analyze_protocol",
+    "analyze_refined",
     "assert_safe",
     "async_structural_invariants",
     "check_progress",
     "check_simulation",
     "coherence_invariants",
     "explore",
+    "fusability_report",
     "handwritten_migratory",
     "inp",
     "invalidate_protocol",

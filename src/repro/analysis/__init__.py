@@ -1,0 +1,58 @@
+"""Protocol static analysis: structured diagnostics over rendezvous ASTs.
+
+The paper's central claim is that its protocol class is *statically
+checkable*: the section 2.4 syntactic restrictions, the section 3.3
+request/reply fusability conditions and the section 2.5/3.2 buffer and
+progress prerequisites are all decidable on the AST, before any state
+space is explored.  This subsystem makes that a first-class tool:
+
+* :mod:`~repro.analysis.diagnostics` — the :class:`Diagnostic` record
+  (stable ``P….`` codes, severity, location, message, fix hint), the
+  :class:`AnalysisReport` container and text/JSON renderers;
+* :mod:`~repro.analysis.restrictions` — section 2.4 restriction checks
+  (the old :mod:`repro.csp.validate` strings, now structured);
+* :mod:`~repro.analysis.reachability` — unreachable states, dead guards;
+* :mod:`~repro.analysis.overlap` — ambiguous home input guards;
+* :mod:`~repro.analysis.fusability` — the per-pair section 3.3 report;
+* :mod:`~repro.analysis.bufferdemand` — static home-buffer-demand bound;
+* :mod:`~repro.analysis.transients` — transient-exit sanity on refined
+  machines;
+* :mod:`~repro.analysis.manager` — the pass manager
+  (:func:`analyze_protocol` / :func:`analyze_refined`).
+
+Run it from the command line with ``python -m repro lint <protocol>``;
+the refinement engine runs the same suite and refuses protocols with
+error-severity findings.  The full code catalogue, with paper citations,
+lives in ``docs/ANALYSIS.md``.
+"""
+
+from .bufferdemand import home_buffer_bound, remote_demand
+from .diagnostics import (
+    CODES,
+    AnalysisReport,
+    CodeInfo,
+    Diagnostic,
+    Severity,
+    render_json,
+    render_text,
+)
+from .manager import AnalysisContext, analyze_protocol, analyze_refined
+from .overlap import patterns_may_overlap
+from .reachability import unreachable_states
+
+__all__ = [
+    "CODES",
+    "AnalysisContext",
+    "AnalysisReport",
+    "CodeInfo",
+    "Diagnostic",
+    "Severity",
+    "analyze_protocol",
+    "analyze_refined",
+    "home_buffer_bound",
+    "patterns_may_overlap",
+    "remote_demand",
+    "render_json",
+    "render_text",
+    "unreachable_states",
+]

@@ -1,0 +1,170 @@
+"""Static home-buffer-demand bound (paper sections 3.2 and 6).
+
+The refined home node owns a ``k >= 2`` slot buffer; requests that find
+it full are nacked and retried (Table 2 rows T4-T6).  How much buffer can
+the protocol actually *demand*?  Statically bounded, per the Table 1/2
+rules:
+
+* an ordinary (acknowledged) remote request blocks its sender — the
+  remote sits in a transient state until ack/nack — so each remote
+  contributes at most **one** outstanding request at a time;
+* a *fire-and-forget* message (the section 5 hand-design extension) does
+  not block: the sender moves on immediately and may issue further sends
+  while the note still occupies a home buffer slot (notes cannot be
+  nacked).  Per remote, the worst case is the longest chain of
+  fire-and-forget outputs the remote can emit back to back, plus the one
+  blocking request that ends the chain;
+* if the remote can emit fire-and-forget messages around a cycle with no
+  blocking output in between, the demand is **unbounded** (P3203).
+
+With ``demand(remote)`` the per-remote bound, the home-side bound for
+``n`` remotes is ``n * demand``.  The pass reports:
+
+* **P3201 (warning)** — the configured ``k`` is below the bound: the
+  protocol is still correct (that is what nacks are for) but requests
+  will be nacked and retried under load.
+* **P3202 (info)** — ``k`` is at or above the bound, so every
+  simultaneously-outstanding request fits: nacks become impossible.
+  This is the section 6 observation that sizing the shared pool at one
+  slot per remote turns the retry machinery off.
+* **P3203 (warning)** — unbounded fire-and-forget demand (a cycle of
+  unacknowledged sends); no finite ``k`` suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..csp.ast import Output, ProcessDef, Protocol
+from .diagnostics import Diagnostic, make
+
+__all__ = ["buffer_demand_pass", "remote_demand", "home_buffer_bound"]
+
+
+def remote_demand(remote: ProcessDef,
+                  fire_and_forget: frozenset[str]) -> Optional[int]:
+    """Max simultaneously-outstanding un-acked sends of one remote.
+
+    Returns ``None`` when unbounded (fire-and-forget cycle).  Computed as
+    the maximum weight of any path in the remote's state graph where a
+    fire-and-forget output edge weighs 1 and every other edge weighs 0;
+    a blocking (acknowledged) output adds 1 and *terminates* the chain
+    (the remote then waits for its ack, clearing all bookkeeping before
+    it can send again).
+    """
+    blocking = any(
+        isinstance(g, Output) and g.msg not in fire_and_forget
+        for s in remote.states.values() for g in s.guards)
+    if not fire_and_forget:
+        return 1 if blocking else 0
+
+    # Graph of *non-blocking* transitions (a blocking send ends the chain
+    # instead and scores its +1 via ``bonus``): fire-and-forget outputs
+    # weigh 1, inputs/taus weigh 0.
+    edges: dict[str, list[tuple[str, int]]] = {s: [] for s in remote.states}
+    bonus: dict[str, int] = dict.fromkeys(remote.states, 0)
+    for name, state in remote.states.items():
+        for guard in state.guards:
+            if isinstance(guard, Output) and guard.msg not in fire_and_forget:
+                bonus[name] = 1
+            else:
+                weight = 1 if isinstance(guard, Output) else 0
+                edges[name].append((guard.to, weight))
+
+    component = _tarjan_components(list(remote.states), edges)
+    for src, out_edges in edges.items():
+        for dst, weight in out_edges:
+            if weight and component[src] == component[dst]:
+                return None  # fire-and-forget cycle: unbounded demand
+
+    # Longest path over the SCC condensation.  Components are numbered in
+    # reverse topological order (successors first), so a single forward
+    # scan sees every successor's score before its predecessors.
+    n_comps = 1 + max(component.values())
+    score = [0] * n_comps
+    for comp in range(n_comps):
+        members = [s for s, c in component.items() if c == comp]
+        best = max(bonus[s] for s in members)
+        for src in members:
+            for dst, weight in edges[src]:
+                if component[dst] != comp:
+                    best = max(best, weight + score[component[dst]])
+        score[comp] = best
+    return max(score)
+
+
+def _tarjan_components(nodes: list[str],
+                       edges: dict[str, list[tuple[str, int]]],
+                       ) -> dict[str, int]:
+    """Tarjan SCCs; components are numbered in reverse topological order."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    component: dict[str, int] = {}
+    counter = 0
+
+    def strongconnect(node: str) -> None:
+        nonlocal counter
+        index[node] = low[node] = len(index)
+        stack.append(node)
+        on_stack.add(node)
+        for succ, _ in edges[node]:
+            if succ not in index:
+                strongconnect(succ)
+                low[node] = min(low[node], low[succ])
+            elif succ in on_stack:
+                low[node] = min(low[node], index[succ])
+        if low[node] == index[node]:
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component[member] = counter
+                if member == node:
+                    break
+            counter += 1
+
+    for node in nodes:
+        if node not in index:
+            strongconnect(node)
+    return component
+
+
+def home_buffer_bound(protocol: Protocol, nodes: int,
+                      fire_and_forget: frozenset[str] = frozenset(),
+                      ) -> Optional[int]:
+    """Static bound on simultaneously buffered remote requests at home."""
+    per_remote = remote_demand(protocol.remote, fire_and_forget)
+    if per_remote is None:
+        return None
+    return nodes * per_remote
+
+
+def buffer_demand_pass(protocol: Protocol, *, capacity: int, nodes: int,
+                       fire_and_forget: frozenset[str] = frozenset(),
+                       ) -> Iterator[Diagnostic]:
+    where = f"{protocol.name}:home-buffer"
+    bound = home_buffer_bound(protocol, nodes, fire_and_forget)
+    if bound is None:
+        yield make(
+            "P3203", where,
+            "fire-and-forget demand is unbounded: the remote can emit "
+            f"unacknowledged messages ({', '.join(sorted(fire_and_forget))}) "
+            "around a cycle with no blocking request in between; no finite "
+            "home buffer suffices",
+            hint="acknowledge at least one message on the cycle")
+        return
+    if capacity < bound:
+        yield make(
+            "P3201", where,
+            f"configured k={capacity} is below the static demand bound "
+            f"{bound} for n={nodes} remotes; requests will be nacked and "
+            "retried under load (correct but slower)",
+            hint=f"raise home_buffer_capacity to {bound} to make nacks "
+                 "impossible (section 6)")
+    else:
+        yield make(
+            "P3202", where,
+            f"k={capacity} covers the worst-case demand bound {bound} for "
+            f"n={nodes} remotes: every outstanding request fits, so nacks "
+            "are impossible (section 6)")

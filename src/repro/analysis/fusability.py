@@ -1,0 +1,74 @@
+"""Section 3.3 request/reply fusability report as diagnostics.
+
+For every candidate request/reply pair (generated from requester-side
+adjacency, exactly as the engine's detector does) this pass explains the
+verdict:
+
+* **P3301 (info)** — the pair passes all applicability conditions and
+  will be fused: both acks elided, 2 wire messages instead of 4.
+* **P3302 (info)** — the pair is a candidate but fails at least one
+  condition; the diagnostic names *each* failed condition with the
+  concrete state where it breaks (this is the report the one-line
+  ``check_pair`` reason never gave).
+* **P3303 (info)** — the pair is fusable but overlaps a chosen pair
+  (chained fusion, e.g. ``acq``/``ok`` and ``ok``/``rel``); the engine
+  deterministically picks a maximal non-overlapping subset and this
+  diagnostic records what it skipped.
+
+Everything here reuses :mod:`repro.refine.reqreply` — including its
+reply-domination dataflow — through the public
+:func:`~repro.refine.reqreply.fusability_report` API.
+
+The import of :mod:`repro.refine` is deferred to call time: this module
+is reachable from ``repro.csp.validate`` (via the analysis package),
+and ``repro.refine.engine`` imports ``repro.csp.validate`` — a
+module-level import here would close that cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..csp.ast import Protocol
+from .diagnostics import Diagnostic, make
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..refine.reqreply import PairReport
+
+__all__ = ["fusability_pass"]
+
+
+def fusability_pass(protocol: Protocol,
+                    strict_cycles: bool = False) -> Iterator[Diagnostic]:
+    from ..refine.reqreply import detect_fusable_pairs, fusability_report
+
+    reports = fusability_report(protocol, strict_cycles=strict_cycles)
+    chosen = frozenset(detect_fusable_pairs(protocol,
+                                            strict_cycles=strict_cycles))
+    for report in reports:
+        where = f"{protocol.name}:{report.pair.request_msg}"
+        if not report.fusable:
+            yield make("P3302", where, _failure_message(report),
+                       hint="see docs/ANALYSIS.md#P3302 for the section "
+                            "3.3 conditions")
+        elif report.pair in chosen:
+            yield make(
+                "P3301", where,
+                f"pair {report.pair.describe()} is fusable: both acks "
+                "elided (2 messages instead of 4)")
+        else:
+            yield make(
+                "P3303", where,
+                f"pair {report.pair.describe()} passes the section 3.3 "
+                "checks but shares a message with a chosen pair; chained "
+                "fusions are not supported, so it stays a plain "
+                "acked request",
+                hint="pass fused_pairs=... to refine() to prefer this "
+                     "pair instead")
+
+
+def _failure_message(report: "PairReport") -> str:
+    failed = "; ".join(
+        f"{c.condition}: {c.reason}" for c in report.failures)
+    return (f"pair {report.pair.describe()} is not fusable — "
+            f"failed condition(s): {failed}")

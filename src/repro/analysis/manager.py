@@ -1,0 +1,134 @@
+"""The analysis pass manager.
+
+:func:`analyze_protocol` runs the full static-analysis suite over a
+rendezvous :class:`~repro.csp.ast.Protocol` and returns an
+:class:`~repro.analysis.diagnostics.AnalysisReport`;
+:func:`analyze_refined` does the same for a refined protocol, adding the
+transient-state checks and taking buffer capacity and fire-and-forget
+sets from the plan.
+
+Passes are registered in :data:`PROTOCOL_PASSES`; each is a pure
+function from the analysis context to an iterable of diagnostics, so the
+suite is trivially extensible and individually testable.  Everything is
+AST-level — milliseconds, no state-space exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from ..csp.ast import Protocol
+from .bufferdemand import buffer_demand_pass
+from .diagnostics import AnalysisReport, Diagnostic
+from .fusability import fusability_pass
+from .overlap import overlap_pass
+from .reachability import reachability_pass
+from .restrictions import restriction_pass
+from .transients import transient_pass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..refine.plan import RefinedProtocol, RefinementConfig
+
+__all__ = ["PROTOCOL_PASSES", "AnalysisContext", "analyze_protocol",
+           "analyze_refined"]
+
+#: Default node count assumed by node-count-sensitive passes (the buffer
+#: demand bound scales with ``n``); override via ``nodes=``.
+DEFAULT_NODES = 4
+
+
+@dataclass(frozen=True)
+class AnalysisContext:
+    """Everything a pass may need; protocol-level passes ignore most."""
+
+    protocol: Protocol
+    nodes: int = DEFAULT_NODES
+    capacity: int = 2
+    fire_and_forget: frozenset[str] = frozenset()
+    strict_cycles: bool = False
+    refined: "Optional[RefinedProtocol]" = None
+
+
+PassFn = Callable[[AnalysisContext], Iterable[Diagnostic]]
+
+PROTOCOL_PASSES: tuple[tuple[str, PassFn], ...] = (
+    ("restrictions", lambda ctx: restriction_pass(ctx.protocol)),
+    ("reachability", lambda ctx: reachability_pass(ctx.protocol)),
+    ("overlap", lambda ctx: overlap_pass(ctx.protocol)),
+    ("fusability", lambda ctx: fusability_pass(
+        ctx.protocol, strict_cycles=ctx.strict_cycles)),
+    ("buffer-demand", lambda ctx: buffer_demand_pass(
+        ctx.protocol, capacity=ctx.capacity, nodes=ctx.nodes,
+        fire_and_forget=ctx.fire_and_forget)),
+)
+
+REFINED_PASSES: tuple[tuple[str, PassFn], ...] = (
+    ("transients", lambda ctx: transient_pass(_require_refined(ctx))),
+)
+
+
+def _require_refined(ctx: AnalysisContext) -> "RefinedProtocol":
+    if ctx.refined is None:  # pragma: no cover - internal misuse
+        raise ValueError("transient pass needs a refined protocol")
+    return ctx.refined
+
+
+def analyze_protocol(protocol: Protocol, *,
+                     config: "Optional[RefinementConfig]" = None,
+                     nodes: int = DEFAULT_NODES,
+                     select: Optional[Iterable[str]] = None,
+                     ) -> AnalysisReport:
+    """Run the static-analysis suite over a rendezvous protocol.
+
+    :param config: the refinement configuration the buffer-demand and
+        fusability passes should assume; defaults to the paper's standard
+        ``k = 2`` configuration.
+    :param nodes: remote node count ``n`` assumed by the buffer-demand
+        bound (the bound scales with ``n``).
+    :param select: restrict the report to these diagnostic codes.
+    """
+    from ..refine.plan import RefinementConfig
+
+    config = config or RefinementConfig()
+    ctx = AnalysisContext(
+        protocol=protocol,
+        nodes=nodes,
+        capacity=config.home_buffer_capacity,
+        fire_and_forget=config.fire_and_forget,
+        strict_cycles=config.strict_reqreply_cycles,
+    )
+    return _run(protocol.name, ctx, PROTOCOL_PASSES, select)
+
+
+def analyze_refined(refined: "RefinedProtocol", *,
+                    nodes: int = DEFAULT_NODES,
+                    select: Optional[Iterable[str]] = None,
+                    ) -> AnalysisReport:
+    """Run the full suite plus transient checks over a refined protocol."""
+    config = refined.plan.config
+    ctx = AnalysisContext(
+        protocol=refined.protocol,
+        nodes=nodes,
+        capacity=config.home_buffer_capacity,
+        fire_and_forget=config.fire_and_forget,
+        strict_cycles=config.strict_reqreply_cycles,
+        refined=refined,
+    )
+    return _run(refined.name, ctx, PROTOCOL_PASSES + REFINED_PASSES, select)
+
+
+def _run(subject: str, ctx: AnalysisContext,
+         passes: tuple[tuple[str, PassFn], ...],
+         select: Optional[Iterable[str]]) -> AnalysisReport:
+    diagnostics: list[Diagnostic] = []
+    names: list[str] = []
+    for name, fn in passes:
+        names.append(name)
+        diagnostics.extend(fn(ctx))
+    report = AnalysisReport(subject=subject,
+                            diagnostics=tuple(diagnostics),
+                            passes_run=tuple(names))
+    if select is not None:
+        report = report.select(select)
+    return report

@@ -1,0 +1,81 @@
+"""Guard-overlap (input ambiguity) detection on home communication states.
+
+**P2410** — two input guards of the same home state accept the same
+message type from sender patterns that can match the same remote.  At the
+rendezvous level this is genuine nondeterminism; after refinement the
+home's deterministic buffer scan silently resolves it in favour of
+whichever guard the implementation checks first, so the two levels can
+diverge in behaviour the author never sees.  The paper's own protocols
+never overlap: each home state keys its inputs on distinct message types
+or provably disjoint sender patterns.
+
+The overlap test is conservative on the *pattern* level (it never
+evaluates ``cond`` callables, which could disambiguate dynamically —
+hence a warning, not an error):
+
+* :class:`~repro.csp.ast.AnySender` overlaps every pattern;
+* two :class:`~repro.csp.ast.VarSender`/:class:`~repro.csp.ast.SetSender`
+  patterns overlap when they read the *same variable* (same remote, or
+  intersecting sets are possible);
+* :class:`~repro.csp.ast.PredSender` is opaque, treated as overlapping
+  everything (it can accept anyone);
+* a ``VarSender`` against a ``SetSender`` of a *different* variable (or
+  two different-variable patterns generally) may still collide at run
+  time, but flagging that would drown real findings in noise for the
+  common owner/sharers split, so it is deliberately not reported.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator
+
+from ..csp.ast import (
+    AnySender,
+    Input,
+    PredSender,
+    Protocol,
+    SenderPat,
+    SetSender,
+    VarSender,
+)
+from .diagnostics import Diagnostic, make
+
+__all__ = ["overlap_pass", "patterns_may_overlap"]
+
+
+def overlap_pass(protocol: Protocol) -> Iterator[Diagnostic]:
+    home = protocol.home
+    for state in home.states.values():
+        inputs = [g for g in state.guards if isinstance(g, Input)]
+        for first, second in combinations(inputs, 2):
+            if first.msg != second.msg:
+                continue
+            if patterns_may_overlap(first.sender, second.sender):
+                yield make(
+                    "P2410", f"{home.name}.{state.name}",
+                    f"two input guards accept {first.msg!r} from "
+                    f"overlapping senders ({_pat(first.sender)} vs "
+                    f"{_pat(second.sender)}); the refinement resolves "
+                    "this nondeterminism silently",
+                    hint="key the guards on disjoint sender patterns or "
+                         "distinct message types")
+
+
+def patterns_may_overlap(a: "SenderPat | None",
+                         b: "SenderPat | None") -> bool:
+    """Can the two home sender patterns accept the same remote?"""
+    if a is None or b is None:  # malformed home guard; P2403 covers it
+        return False
+    if isinstance(a, (AnySender, PredSender)) or \
+            isinstance(b, (AnySender, PredSender)):
+        return True
+    if isinstance(a, VarSender) and isinstance(b, VarSender):
+        return a.var == b.var
+    if isinstance(a, SetSender) and isinstance(b, SetSender):
+        return a.var == b.var
+    return False
+
+
+def _pat(pattern: "SenderPat | None") -> str:
+    return pattern.describe() if pattern is not None else "<missing>"

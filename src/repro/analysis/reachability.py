@@ -1,0 +1,91 @@
+"""Unreachable-state and dead-guard detection.
+
+Two cheap whole-protocol dataflow checks that the string-based validator
+never performed:
+
+* **P2501 — unreachable state.**  A state with no path from the process's
+  initial state can never execute.  It is dead weight at best; at worst it
+  is the author's intended behaviour silently disconnected by a typo in a
+  ``to=`` label (the AST only checks that the *name* exists).
+
+* **P2502 — dead guard.**  A rendezvous guard whose message type the
+  counterpart process never offers from the opposite side.  Under the star
+  topology a home ``Input(m)`` can only ever fire if some remote state has
+  an ``Output(m)`` — and symmetrically for the other three combinations.
+  No variable valuation can save such a guard, so this is decidable
+  syntactically (the same style of static flow reasoning Sethi et al.,
+  arXiv:1407.7468, use to derive deadlock-freedom without search).
+
+Both are warnings, not errors: the refinement theorem still applies (the
+dead structure refines to dead structure), but the spec almost certainly
+does not say what its author meant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..csp.ast import Input, Output, ProcessDef, Protocol
+from .diagnostics import Diagnostic, make
+
+__all__ = ["reachability_pass", "unreachable_states"]
+
+
+def reachability_pass(protocol: Protocol) -> Iterator[Diagnostic]:
+    for process in (protocol.home, protocol.remote):
+        yield from _unreachable(process)
+    yield from _dead_guards(protocol.home, protocol.remote)
+    yield from _dead_guards(protocol.remote, protocol.home)
+
+
+def unreachable_states(process: ProcessDef) -> frozenset[str]:
+    """Names of states with no path from the initial state."""
+    seen: set[str] = set()
+    stack = [process.initial_state]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(g.to for g in process.states[name].guards)
+    return frozenset(process.states) - seen
+
+
+def _unreachable(process: ProcessDef) -> Iterator[Diagnostic]:
+    for name in sorted(unreachable_states(process)):
+        yield make(
+            "P2501", f"{process.name}.{name}",
+            f"state is unreachable from the initial state "
+            f"{process.initial_state!r}",
+            hint="connect it with a guard or delete it")
+
+
+def _dead_guards(process: ProcessDef,
+                 counterpart: ProcessDef) -> Iterator[Diagnostic]:
+    """Guards of ``process`` whose message the counterpart never offers."""
+    offered_inputs = _messages(counterpart, Input)
+    offered_outputs = _messages(counterpart, Output)
+    for state in process.states.values():
+        where = f"{process.name}.{state.name}"
+        for guard in state.guards:
+            if isinstance(guard, Output) and guard.msg not in offered_inputs:
+                yield make(
+                    "P2502", where,
+                    f"output {guard.describe()} is dead: "
+                    f"{counterpart.name} never inputs {guard.msg!r}",
+                    hint=f"add a matching input to {counterpart.name} or "
+                         "remove the guard")
+            elif isinstance(guard, Input) and guard.msg not in offered_outputs:
+                yield make(
+                    "P2502", where,
+                    f"input {guard.describe()} is dead: "
+                    f"{counterpart.name} never outputs {guard.msg!r}",
+                    hint=f"add a matching output to {counterpart.name} or "
+                         "remove the guard")
+
+
+def _messages(process: ProcessDef,
+              kind: "type[Input] | type[Output]") -> frozenset[str]:
+    return frozenset(
+        g.msg for s in process.states.values() for g in s.guards
+        if isinstance(g, kind))

@@ -4,6 +4,10 @@ Commands:
 
 * ``verify``   — model-check a library protocol at a given level/node count
   (``--symmetry`` explores one representative per remote-permutation orbit).
+* ``lint``     — run the static-analysis suite (section 2.4 restrictions,
+  reachability, guard overlap, fusability, buffer demand, transients) and
+  print structured diagnostics (``--json`` for machines, ``--strict`` to
+  fail on warnings, ``--select CODE`` to filter).
 * ``refine``   — print the refinement plan and the refined state machines.
 * ``simulate`` — run the discrete-event simulator and print metrics
   (``--msc N`` renders a message-sequence chart of the first N events).
@@ -15,6 +19,8 @@ Examples::
 
     repro verify migratory --level rendezvous -n 8 --progress
     repro verify invalidate -n 6 --symmetry
+    repro lint migratory --json
+    repro lint all -n 8 --strict
     repro refine invalidate --figures
     repro simulate migratory -n 8 --workload hot --until 50000
     repro simulate migratory -n 3 --until 500 --msc 12
@@ -116,6 +122,45 @@ def cmd_verify(args) -> int:
         # labels, so it always runs on the unreduced system.
         print(check_progress(base_system, max_states=args.budget).describe())
     return 0 if result.ok else 1
+
+
+def cmd_lint(args) -> int:
+    from .analysis import CODES, Severity, analyze_protocol, analyze_refined
+    from .errors import RefinementError, ValidationError
+
+    unknown = sorted(set(args.select) - set(CODES))
+    if unknown:
+        raise SystemExit(
+            f"unknown diagnostic code(s): {', '.join(unknown)}; "
+            "see docs/ANALYSIS.md for the catalogue")
+    names = sorted(PROTOCOLS) if args.protocol == "all" else [args.protocol]
+    try:
+        config = _config(args)
+    except RefinementError as exc:
+        raise SystemExit(str(exc)) from None
+    worst: Optional[Severity] = None
+    outputs = []
+    for name in names:
+        protocol = _build(name)
+        try:
+            # analyze the *refined* protocol so the transient-state pass
+            # runs too; refinement is purely static and cheap.
+            report = analyze_refined(refine(protocol, config),
+                                     nodes=args.nodes)
+        except ValidationError:
+            # unrefinable: report the protocol-level diagnostics instead
+            report = analyze_protocol(protocol, config=config,
+                                      nodes=args.nodes)
+        if args.select:
+            report = report.select(args.select)
+        severity = report.max_severity
+        if severity is not None and (worst is None or severity > worst):
+            worst = severity
+        outputs.append(report.render_json() if args.json
+                       else report.render_text())
+    print("\n\n".join(outputs))
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    return 1 if worst is not None and worst >= threshold else 0
 
 
 def cmd_refine(args) -> int:
@@ -228,6 +273,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="explore one representative per remote-permutation "
                         "orbit (identical-remote symmetry reduction)")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("lint", help="run the static-analysis suite")
+    p.add_argument("protocol", choices=sorted(PROTOCOLS) + ["all"],
+                   help="library protocol to lint, or 'all'")
+    p.add_argument("-n", "--nodes", type=int, default=4,
+                   help="remote node count assumed by the buffer-demand "
+                        "bound (default 4)")
+    p.add_argument("--buffer", type=int, default=2,
+                   help="home buffer capacity k (default 2)")
+    p.add_argument("--no-reqreply", action="store_true",
+                   help="disable the section 3.3 optimization")
+    p.add_argument("--no-progress-buffer", action="store_true",
+                   help=argparse.SUPPRESS)  # accepted for _config() parity
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON report per protocol")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on warnings, not just errors")
+    p.add_argument("--select", action="append", metavar="CODE", default=[],
+                   help="only report these diagnostic codes (repeatable)")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("refine", help="show the refinement result")
     common(p)

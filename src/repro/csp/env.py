@@ -34,6 +34,9 @@ class Env(Mapping[str, Value]):
 
     __slots__ = ("_items", "_hash")
 
+    _items: tuple[tuple[str, Value], ...]
+    _hash: int
+
     def __init__(self, mapping: Mapping[str, Value] | None = None) -> None:
         items = tuple(sorted((mapping or {}).items()))
         for key, value in items:

@@ -1,60 +1,35 @@
-"""Syntactic restriction checks from paper section 2.4.
+"""Syntactic restriction checks from paper section 2.4 (string façade).
 
-The refinement procedure is only defined (and only proven sound) for
-protocols obeying these structural rules:
+The actual checks live in :mod:`repro.analysis.restrictions`, where they
+produce structured :class:`~repro.analysis.diagnostics.Diagnostic`
+records with stable codes (``P2401``-``P2409``), severities and fix
+hints; this module keeps the original flat-string API as thin wrappers
+so existing callers — and everything scripted against their exact output
+— keep working unchanged:
 
-* **Star topology** — enforced by construction in our AST: remote guards
-  never name a peer, home guards address remotes.  Checked here anyway for
-  hand-constructed ASTs.
+* :func:`collect_violations` returns the historical human-readable
+  strings (byte-identical to the pre-diagnostics implementation);
+* :func:`validate_protocol` / :func:`validate_process` raise
+  :class:`~repro.errors.ValidationError` listing *all* violations found
+  (not just the first), so authors can fix a spec in one round trip.
 
-* **Remote node restrictions** — a remote communication state either
-  (a) offers to be the *active* participant of a *single* rendezvous
-  (exactly one Output guard, nothing else), or (b) offers to be a *passive*
-  participant on any number of Input guards, optionally together with Tau
-  guards modelling autonomous decisions such as evictions.  "We restrict
-  the remote nodes to contain only input non-determinism."
-
-* **Home node generality** — the home may mix Input and Output guards
-  freely ("generalized input/output guards"), but autonomous Tau guards in
-  *communication* states are not part of the paper's home-node language
-  (internal states cover home-local computation).
-
-* **Eventual exit from internal states** — "we assume that such a process
-  will eventually enter a communication state where rendezvous actions are
-  offered (this assumption can be syntactically checked)": every cycle in
-  the state graph must contain at least one communication state, and no
-  state may be terminal (guard-less).
-
-* **Forward-progress prerequisite** — paper section 2.5 derives progress
-  "assuming that there are no loops in the home node and remote nodes"
-  made of internal states alone; the cycle check above is exactly that.
-
-:func:`validate_protocol` raises :class:`~repro.errors.ValidationError`
-describing *all* violations found (not just the first), so authors can fix
-a spec in one round trip.
+See :mod:`repro.analysis` for the full pass suite (reachability, guard
+overlap, fusability, buffer demand) and ``python -m repro lint`` for the
+command-line front end.
 """
 
 from __future__ import annotations
 
-from .ast import (
-    Input,
-    Output,
-    ProcessDef,
-    ProcessKind,
-    Protocol,
-    StateDef,
-)
+from ..analysis.restrictions import process_restrictions, restriction_pass
 from ..errors import ValidationError
+from .ast import ProcessDef, Protocol
 
 __all__ = ["validate_protocol", "validate_process", "collect_violations"]
 
 
 def collect_violations(proto: Protocol) -> list[str]:
     """Return human-readable descriptions of every restriction violation."""
-    problems: list[str] = []
-    problems += _process_violations(proto.home)
-    problems += _process_violations(proto.remote)
-    return problems
+    return [d.legacy_text for d in restriction_pass(proto)]
 
 
 def validate_protocol(proto: Protocol) -> Protocol:
@@ -73,119 +48,10 @@ def validate_protocol(proto: Protocol) -> Protocol:
 
 def validate_process(process: ProcessDef) -> ProcessDef:
     """Validate a single process in isolation (same rules, one side)."""
-    problems = _process_violations(process)
+    problems = [d.legacy_text for d in process_restrictions(process)]
     if problems:
         raise ValidationError(
             f"process {process.name!r} violates the paper's syntactic "
             "restrictions:\n  - " + "\n  - ".join(problems)
         )
     return process
-
-
-# ---------------------------------------------------------------------------
-
-
-def _process_violations(process: ProcessDef) -> list[str]:
-    problems: list[str] = []
-    for state in process.states.values():
-        where = f"{process.name}.{state.name}"
-        if state.is_terminal:
-            problems.append(
-                f"{where}: terminal state (no guards); processes must always "
-                "eventually offer a rendezvous"
-            )
-            continue
-        problems += _addressing_violations(process, state, where)
-        if process.kind == ProcessKind.REMOTE:
-            problems += _remote_shape_violations(state, where)
-        else:
-            problems += _home_shape_violations(state, where)
-    problems += _internal_cycle_violations(process)
-    return problems
-
-
-def _addressing_violations(process: ProcessDef, state: StateDef,
-                           where: str) -> list[str]:
-    problems = []
-    for guard in state.guards:
-        if process.kind == ProcessKind.HOME:
-            if isinstance(guard, Output) and guard.target is None:
-                problems.append(f"{where}: home output {guard.describe()} "
-                                "lacks a remote target")
-            if isinstance(guard, Input) and guard.sender is None:
-                problems.append(f"{where}: home input {guard.describe()} "
-                                "lacks a sender pattern")
-        else:
-            if isinstance(guard, Output) and guard.target is not None:
-                problems.append(f"{where}: remote output names a peer; star "
-                                "topology forbids remote-to-remote messages")
-            if isinstance(guard, Input) and guard.sender is not None:
-                problems.append(f"{where}: remote input names a peer; star "
-                                "topology forbids remote-to-remote messages")
-    return problems
-
-
-def _remote_shape_violations(state: StateDef, where: str) -> list[str]:
-    """Paper 2.4: remote states are single-active-output or passive."""
-    problems = []
-    n_out = len(state.outputs)
-    if n_out > 1:
-        problems.append(
-            f"{where}: remote state offers {n_out} output guards; a remote "
-            "may be the active participant of only a single rendezvous"
-        )
-    if n_out == 1 and (state.inputs or state.taus):
-        problems.append(
-            f"{where}: remote active state mixes its output with "
-            "input/tau guards; output non-determinism is not allowed "
-            "in remote nodes"
-        )
-    return problems
-
-
-def _home_shape_violations(state: StateDef, where: str) -> list[str]:
-    problems = []
-    if state.is_communication and state.taus:
-        problems.append(
-            f"{where}: home communication state carries tau guards; home "
-            "autonomous work belongs in internal states"
-        )
-    return problems
-
-
-def _internal_cycle_violations(process: ProcessDef) -> list[str]:
-    """Reject cycles through internal states only (could spin forever).
-
-    Depth-first search over the subgraph induced by internal states: if a
-    cycle exists there, the process can stay in internal states forever,
-    violating the paper's eventual-communication assumption.
-    """
-    internal = {s.name for s in process.states.values() if s.is_internal}
-    succ = {
-        name: [g.to for g in process.states[name].guards if g.to in internal]
-        for name in internal
-    }
-    WHITE, GREY, BLACK = 0, 1, 2
-    colour = dict.fromkeys(internal, WHITE)
-    problems: list[str] = []
-
-    def visit(node: str, stack: list[str]) -> None:
-        colour[node] = GREY
-        stack.append(node)
-        for nxt in succ[node]:
-            if colour[nxt] == GREY:
-                cycle = stack[stack.index(nxt):] + [nxt]
-                problems.append(
-                    f"{process.name}: internal-state cycle "
-                    f"{' -> '.join(cycle)}; the process could avoid "
-                    "communication forever"
-                )
-            elif colour[nxt] == WHITE:
-                visit(nxt, stack)
-        stack.pop()
-        colour[node] = BLACK
-
-    for node in internal:
-        if colour[node] == WHITE:
-            visit(node, [])
-    return problems

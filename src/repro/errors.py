@@ -23,7 +23,18 @@ class ValidationError(SpecError):
     star topology whose remote nodes use restricted guard shapes
     (paper section 2.4).  :mod:`repro.csp.validate` raises this error when a
     protocol falls outside that class.
+
+    ``diagnostics`` carries the structured
+    :class:`~repro.analysis.diagnostics.Diagnostic` records behind the
+    message when the error was produced by the analysis suite (the
+    refinement engine's gate); it is an empty tuple for errors raised
+    from the plain string-based validators.
     """
+
+    def __init__(self, message: str,
+                 diagnostics: tuple[object, ...] = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
 
 
 class SemanticsError(ReproError):

@@ -28,10 +28,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
-from ..csp.ast import AnySender, VarTarget
+from ..csp.ast import AnySender, Protocol, VarTarget
 from ..csp.builder import ProcessBuilder, inp, out, protocol, tau
-from ..csp.ast import Protocol
 from ..csp.validate import validate_protocol
 
 __all__ = ["GeneratorParams", "random_protocol"]
@@ -57,8 +57,9 @@ class GeneratorParams:
 
 
 def random_protocol(seed: int,
-                    params: GeneratorParams = GeneratorParams()) -> Protocol:
+                    params: Optional[GeneratorParams] = None) -> Protocol:
     """Generate a random validated protocol from ``seed``."""
+    params = params if params is not None else GeneratorParams()
     rng = random.Random(seed)
     remote_msgs = [f"up{i}" for i in range(params.n_remote_msgs)]
     home_msgs = [f"dn{i}" for i in range(params.n_home_msgs)]

@@ -89,7 +89,8 @@ def invalidate_protocol(data_values: Optional[int] = None):
     home = ProcessBuilder.home(
         "invalidate-home",
         o=None, j=None, t=None, t0=None, S=frozenset(), mem=initial_data())
-    grant = lambda env: env["mem"]
+    def grant(env):
+        return env["mem"]
 
     def add_sharer(var: str):
         return lambda env: env.update(

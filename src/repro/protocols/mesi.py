@@ -92,7 +92,8 @@ def mesi_protocol(data_values: Optional[int] = None):
     home = ProcessBuilder.home(
         "mesi-home",
         o=None, j=None, t=None, t0=None, S=frozenset(), mem=initial_data())
-    grant = lambda env: env["mem"]
+    def grant(env):
+        return env["mem"]
 
     def own(var: str):
         return lambda env: env.update({"o": env[var], var: None})

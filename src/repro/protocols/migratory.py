@@ -71,7 +71,8 @@ def migratory_protocol(data_values: Optional[int] = None,
 
     home = ProcessBuilder.home(
         "migratory-home", o=None, j=None, mem=initial_data())
-    grant_payload = lambda env: env["mem"]
+    def grant_payload(env):
+        return env["mem"]
 
     home.state(
         "F",

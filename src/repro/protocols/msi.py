@@ -59,7 +59,8 @@ def msi_protocol(data_values: Optional[int] = None):
         "msi-home",
         o=None, j=None, t=None, t0=None, u=None, S=frozenset(),
         mem=initial_data())
-    grant = lambda env: env["mem"]
+    def grant(env):
+        return env["mem"]
 
     def add_sharer(var: str):
         return lambda env: env.update(

@@ -27,9 +27,9 @@ The engine performs all *static* work here:
 
 from __future__ import annotations
 
+from ..analysis.manager import analyze_protocol
 from ..csp.ast import Input, Protocol
-from ..csp.validate import validate_protocol
-from ..errors import RefinementError
+from ..errors import RefinementError, ValidationError
 from .plan import FusedPair, RefinedProtocol, RefinementConfig, RefinementPlan
 from .reqreply import _reject_overlaps, check_pair, detect_fusable_pairs
 
@@ -55,7 +55,7 @@ def refine(protocol: Protocol,
         restrictions the soundness proof needs.
     """
     config = config or RefinementConfig()
-    validate_protocol(protocol)
+    _gate_on_diagnostics(protocol, config)
 
     if not config.use_reqreply:
         if fused_pairs:
@@ -79,6 +79,27 @@ def refine(protocol: Protocol,
 
     plan = RefinementPlan(config=config, fused=fused)
     return RefinedProtocol(protocol=protocol, plan=plan)
+
+
+def _gate_on_diagnostics(protocol: Protocol,
+                         config: RefinementConfig) -> None:
+    """Refuse to refine on any error-severity diagnostic.
+
+    The analysis suite subsumes the old :func:`validate_protocol` call:
+    every section 2.4 restriction violation comes back as an error-level
+    :class:`~repro.analysis.diagnostics.Diagnostic`, and any *future*
+    error-severity pass automatically becomes a refinement precondition
+    too.  The raised :class:`ValidationError` carries the structured
+    records in ``exc.diagnostics``.
+    """
+    report = analyze_protocol(protocol, config=config)
+    errors = report.errors
+    if errors:
+        detail = "\n  - ".join(f"[{d.code}] {d.legacy_text}" for d in errors)
+        raise ValidationError(
+            f"protocol {protocol.name!r} violates the paper's syntactic "
+            f"restrictions:\n  - {detail}",
+            diagnostics=errors)
 
 
 def _check_fire_and_forget(protocol: Protocol, config: RefinementConfig,

@@ -45,6 +45,7 @@ failure.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from ..csp.ast import (
@@ -59,7 +60,100 @@ from ..csp.ast import (
 from ..errors import RefinementError
 from .plan import HOME_SIDE, REMOTE, FusedPair
 
-__all__ = ["detect_fusable_pairs", "check_pair"]
+__all__ = [
+    "ConditionResult",
+    "PairReport",
+    "candidate_pairs",
+    "check_pair",
+    "detect_fusable_pairs",
+    "explain_pair",
+    "fusability_report",
+]
+
+
+@dataclass(frozen=True)
+class ConditionResult:
+    """Outcome of one section 3.3 applicability condition for one pair."""
+
+    condition: str  # short name, e.g. "requester-adjacency"
+    ok: bool
+    reason: Optional[str] = None  # failure explanation when not ok
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"FAIL ({self.reason})"
+        return f"{self.condition}: {status}"
+
+
+@dataclass(frozen=True)
+class PairReport:
+    """Per-condition fusability verdict for one candidate pair.
+
+    This is the structured form of :func:`check_pair`: instead of the
+    first failure only, every section 3.3 condition is evaluated and
+    named, so authors can see exactly *which* requirement their protocol
+    misses (the ``repro lint`` fusability report renders these).
+    """
+
+    pair: FusedPair
+    conditions: tuple[ConditionResult, ...]
+
+    @property
+    def fusable(self) -> bool:
+        return all(c.ok for c in self.conditions)
+
+    @property
+    def failures(self) -> tuple[ConditionResult, ...]:
+        return tuple(c for c in self.conditions if not c.ok)
+
+    def describe(self) -> str:
+        verdict = "fusable" if self.fusable else "NOT fusable"
+        body = "; ".join(c.describe() for c in self.conditions)
+        return f"{self.pair.describe()}: {verdict} [{body}]"
+
+
+def explain_pair(protocol: Protocol, pair: FusedPair,
+                 strict_cycles: bool = False) -> PairReport:
+    """Evaluate every section 3.3 condition for ``pair`` independently.
+
+    Unlike :func:`check_pair` (which stops at the first failure), all
+    conditions are checked so the report names each one that fails.
+    """
+    conditions: list[ConditionResult] = []
+
+    def run(name: str, reason: Optional[str]) -> None:
+        conditions.append(ConditionResult(condition=name, ok=reason is None,
+                                          reason=reason))
+
+    if pair.requester == REMOTE:
+        run("requester-adjacency (remote h!req; h?repl)",
+            _check_requester_adjacency(protocol.remote, pair,
+                                       remote_side=True))
+        run("home-responder reply path (ri!repl after ri?req)",
+            _check_home_responder(protocol.home, pair, strict_cycles))
+        run("reply domination (no unsolicited repl)",
+            _check_reply_domination(protocol.home, pair))
+    elif pair.requester == HOME_SIDE:
+        run("requester-adjacency (home ri!req; ri?repl)",
+            _check_requester_adjacency(protocol.home, pair,
+                                       remote_side=False))
+        run("remote-responder local actions only",
+            _check_remote_responder(protocol.remote, pair))
+    else:
+        run("requester side", f"unknown requester side {pair.requester!r}")
+    return PairReport(pair=pair, conditions=tuple(conditions))
+
+
+def fusability_report(protocol: Protocol,
+                      strict_cycles: bool = False) -> tuple[PairReport, ...]:
+    """Section 3.3 report over every candidate request/reply pair.
+
+    Candidates come from requester-side adjacency in both directions (the
+    same generation :func:`detect_fusable_pairs` uses), so a pair appears
+    here exactly when the protocol *syntactically suggests* it; each is
+    then explained condition by condition.
+    """
+    return tuple(explain_pair(protocol, pair, strict_cycles=strict_cycles)
+                 for pair in candidate_pairs(protocol))
 
 
 def detect_fusable_pairs(protocol: Protocol,
@@ -81,7 +175,7 @@ def detect_fusable_pairs(protocol: Protocol,
     ``strict_cycles=True`` additionally rejects pairs whose home-side reply
     path passes through a cycle (see :func:`check_pair`).
     """
-    candidates = [pair for pair in _candidate_pairs(protocol)
+    candidates = [pair for pair in candidate_pairs(protocol)
                   if check_pair(protocol, pair,
                                 strict_cycles=strict_cycles) is None]
     candidates.sort(key=lambda p: (p.requester != REMOTE,
@@ -131,7 +225,7 @@ def check_pair(protocol: Protocol, pair: FusedPair,
 # ---------------------------------------------------------------------------
 
 
-def _candidate_pairs(protocol: Protocol) -> Iterator[FusedPair]:
+def candidate_pairs(protocol: Protocol) -> Iterator[FusedPair]:
     """Guess (m1, m2) pairs from requester-side adjacency, both directions."""
     seen: set[tuple[str, str, str]] = set()
     for requester, process in ((REMOTE, protocol.remote),

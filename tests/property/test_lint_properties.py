@@ -1,0 +1,50 @@
+"""Property-based: every generated protocol lints clean at error severity.
+
+``repro.gen.random_protocol`` constructs protocols *inside* the paper's
+restricted class by design; the analysis suite formalizes that class as
+error-severity diagnostics.  If the two ever disagree — the generator
+emits something the linter rejects, or the linter's restrictions drift
+from the generator's guarantees — a real bug exists on one side or the
+other, so this property pins them together.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import analyze_protocol, analyze_refined, refine
+from repro.gen import GeneratorParams, random_protocol
+
+SMALL = GeneratorParams(n_remote_states=3, n_home_states=3,
+                        n_remote_msgs=2, n_home_msgs=2)
+
+lenient = settings(max_examples=25, deadline=None)
+
+
+@st.composite
+def protocols(draw):
+    seed = draw(st.integers(0, 10_000))
+    return random_protocol(seed, SMALL)
+
+
+class TestGeneratedProtocolsLintClean:
+    @lenient
+    @given(protocols())
+    def test_no_error_diagnostics(self, protocol):
+        report = analyze_protocol(protocol)
+        assert report.errors == (), report.render_text()
+
+    @lenient
+    @given(protocols())
+    def test_refined_no_error_diagnostics(self, protocol):
+        report = analyze_refined(refine(protocol))
+        assert report.errors == (), report.render_text()
+        # the transient inventory is always reported
+        assert "P3403" in report.codes()
+
+    @lenient
+    @given(protocols())
+    def test_buffer_demand_is_the_node_count(self, protocol):
+        from repro.analysis import home_buffer_bound, remote_demand
+        # without fire-and-forget every remote demands at most one slot
+        assert remote_demand(protocol.remote, frozenset()) in (0, 1)
+        bound = home_buffer_bound(protocol, 5)
+        assert bound is not None and bound <= 5

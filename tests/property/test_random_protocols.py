@@ -28,9 +28,14 @@ from repro.refine.abstraction import abstract_state
 SMALL = GeneratorParams(n_remote_states=3, n_home_states=3,
                         n_remote_msgs=2, n_home_msgs=2)
 
+# filter_too_much is suppressed because the conditional properties below
+# (progress transfer especially) discard non-qualifying protocols with
+# ``assume`` by design; whether the health check trips depends only on
+# which seeds hypothesis happens to draw.
 lenient = settings(max_examples=25, deadline=None,
                    suppress_health_check=[HealthCheck.too_slow,
-                                          HealthCheck.data_too_large])
+                                          HealthCheck.data_too_large,
+                                          HealthCheck.filter_too_much])
 
 
 @st.composite

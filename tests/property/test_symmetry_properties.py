@@ -14,7 +14,6 @@ from hypothesis import given, settings, strategies as st
 from repro import AsyncSystem, RendezvousSystem, explore, migratory_protocol
 from repro.check.symmetry import normalize
 from repro.protocols.symmetry import MIGRATORY_SYMMETRY
-from repro.csp.env import Env
 from repro.semantics.asynchronous import AsyncState, BufEntry, HomeNode
 from repro.semantics.network import Channels
 from repro.semantics.state import ProcState, RvState

@@ -11,7 +11,6 @@ from repro import (
     check_progress,
     coherence_invariants,
     explore,
-    invalidate_protocol,
 )
 from repro.protocols.invariants import holders
 from repro.semantics.rendezvous import RendezvousStep, TauStep

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import RefinementConfig, refine
-from repro.csp.ast import DATA
 from repro.errors import SemanticsError
 from repro.semantics.asynchronous import (
     AsyncSystem,
@@ -16,7 +15,7 @@ from repro.semantics.asynchronous import (
     TRANS,
     IDLE,
 )
-from repro.semantics.network import ACK, NACK, REPL, REQ, Channels
+from repro.semantics.network import ACK, REPL, REQ, Channels
 
 
 def take(system, state, predicate, description=""):

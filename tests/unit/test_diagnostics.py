@@ -1,0 +1,134 @@
+"""Unit tests for the diagnostics core (repro.analysis.diagnostics)."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    make,
+    render_json,
+    render_text,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert max([Severity.WARNING, Severity.ERROR,
+                    Severity.INFO]) is Severity.ERROR
+
+    def test_labels(self):
+        assert Severity.ERROR.label == "error"
+        assert Severity.WARNING.label == "warning"
+        assert Severity.INFO.label == "info"
+
+
+class TestCodeRegistry:
+    def test_codes_match_their_keys(self):
+        for code, info in CODES.items():
+            assert info.code == code
+
+    def test_every_code_has_title_and_section(self):
+        for info in CODES.values():
+            assert info.title and info.section
+
+    def test_restriction_codes_are_errors(self):
+        for code in ("P2401", "P2402", "P2403", "P2404", "P2405",
+                     "P2406", "P2407", "P2408", "P2409"):
+            assert CODES[code].default_severity is Severity.ERROR
+
+    def test_every_code_documented(self):
+        """docs/ANALYSIS.md catalogues every registered code."""
+        doc = (pathlib.Path(__file__).parents[2]
+               / "docs" / "ANALYSIS.md").read_text()
+        for code in CODES:
+            assert code in doc, f"{code} missing from docs/ANALYSIS.md"
+
+
+class TestDiagnostic:
+    def test_make_uses_registered_severity(self):
+        d = make("P2401", "p.s", "boom")
+        assert d.severity is Severity.ERROR
+
+    def test_make_severity_override(self):
+        d = make("P2401", "p.s", "boom", severity=Severity.INFO)
+        assert d.severity is Severity.INFO
+
+    def test_unregistered_code_rejected(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            make("P9999", "p.s", "boom")
+
+    def test_legacy_text_is_location_colon_message(self):
+        d = make("P2401", "proc.state", "terminal state")
+        assert d.legacy_text == "proc.state: terminal state"
+
+    def test_render_includes_code_severity_and_hint(self):
+        d = make("P2501", "p.dead", "unreachable", hint="delete it")
+        text = d.render()
+        assert "P2501" in text and "warning" in text
+        assert "hint: delete it" in text
+
+    def test_as_dict_carries_registry_metadata(self):
+        payload = make("P3301", "p:req", "fusable").as_dict()
+        assert payload["section"] == "3.3"
+        assert payload["title"] == "request/reply pair fusable"
+        assert payload["severity"] == "info"
+
+
+def _report():
+    return AnalysisReport(
+        subject="demo",
+        diagnostics=(
+            make("P3301", "demo:req", "fusable"),
+            make("P2501", "r.x", "unreachable"),
+            make("P2401", "r.dead", "terminal"),
+        ),
+        passes_run=("restrictions", "fusability"))
+
+
+class TestAnalysisReport:
+    def test_severity_buckets(self):
+        report = _report()
+        assert [d.code for d in report.errors] == ["P2401"]
+        assert [d.code for d in report.warnings] == ["P2501"]
+        assert [d.code for d in report.infos] == ["P3301"]
+
+    def test_max_severity_and_ok(self):
+        report = _report()
+        assert report.max_severity is Severity.ERROR
+        assert not report.ok
+        assert AnalysisReport(subject="empty").max_severity is None
+        assert AnalysisReport(subject="empty").ok
+
+    def test_codes_and_len(self):
+        report = _report()
+        assert report.codes() == {"P3301", "P2501", "P2401"}
+        assert len(report) == 3
+
+    def test_select(self):
+        narrowed = _report().select(["P2401"])
+        assert [d.code for d in narrowed] == ["P2401"]
+        assert narrowed.subject == "demo"
+
+    def test_select_unknown_code_rejected(self):
+        with pytest.raises(KeyError, match="P0000"):
+            _report().select(["P0000"])
+
+    def test_render_text_worst_first(self):
+        lines = render_text(_report()).splitlines()
+        assert "1 error(s), 1 warning(s), 1 note(s)" in lines[0]
+        codes = [line.split()[0] for line in lines[1:]]
+        assert codes == ["P2401", "P2501", "P3301"]
+
+    def test_render_json_roundtrips(self):
+        payload = json.loads(render_json(_report()))
+        assert payload["subject"] == "demo"
+        assert payload["summary"] == {"errors": 1, "warnings": 1, "infos": 1}
+        assert payload["passes"] == ["restrictions", "fusability"]
+        assert {d["code"] for d in payload["diagnostics"]} == \
+            {"P3301", "P2501", "P2401"}

@@ -1,0 +1,82 @@
+"""Unit tests for the ``repro lint`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["lint", "migratory"])
+        assert args.nodes == 4 and args.buffer == 2
+        assert not args.json and not args.strict and args.select == []
+
+    def test_all_accepted(self):
+        assert build_parser().parse_args(["lint", "all"]).protocol == "all"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "mosi"])
+
+
+class TestTextOutput:
+    def test_clean_protocol_exits_zero(self, capsys):
+        assert main(["lint", "migratory"]) == 0
+        out = capsys.readouterr().out
+        assert "lint report for migratory-async" in out
+        assert "0 error(s)" in out
+
+    def test_all_protocols_lint_clean(self, capsys):
+        assert main(["lint", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mesi", "migratory", "invalidate", "msi"):
+            assert f"lint report for {name}-async" in out
+
+    def test_transient_pass_included(self, capsys):
+        # lint analyzes the refined protocol, so P3403 always appears
+        main(["lint", "migratory"])
+        assert "P3403" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_json_parses_and_is_structured(self, capsys):
+        assert main(["lint", "migratory", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["subject"] == "migratory-async"
+        assert payload["summary"]["errors"] == 0
+        assert payload["passes"][0] == "restrictions"
+        assert all({"code", "severity", "location", "message"} <=
+                   set(d) for d in payload["diagnostics"])
+
+    def test_codes_are_registered(self, capsys):
+        from repro.analysis import CODES
+        main(["lint", "msi", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert all(d["code"] in CODES for d in payload["diagnostics"])
+
+
+class TestExitCodes:
+    def test_strict_fails_on_buffer_warning(self, capsys):
+        # default k=2 is below the n=4 demand bound -> P3201 warning
+        assert main(["lint", "migratory", "--strict"]) == 1
+
+    def test_strict_passes_when_buffer_covers_demand(self, capsys):
+        assert main(["lint", "migratory", "--strict", "--buffer", "4"]) == 0
+        assert "P3202" in capsys.readouterr().out
+
+
+class TestSelect:
+    def test_select_filters_codes(self, capsys):
+        assert main(["lint", "migratory", "--select", "P3301"]) == 0
+        out = capsys.readouterr().out
+        assert "P3301" in out
+        assert "P3201" not in out and "P3403" not in out
+
+    def test_select_is_repeatable(self, capsys):
+        main(["lint", "migratory", "--json",
+              "--select", "P3301", "--select", "P3403"])
+        payload = json.loads(capsys.readouterr().out)
+        assert {d["code"] for d in payload["diagnostics"]} == \
+            {"P3301", "P3403"}

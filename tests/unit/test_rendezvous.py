@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.csp.ast import AnySender, VarSender, VarTarget, DATA
-from repro.csp.builder import ProcessBuilder, inp, out, protocol, tau
+from repro.csp.ast import AnySender, VarTarget, DATA
+from repro.csp.builder import ProcessBuilder, inp, out, protocol
 from repro.errors import SemanticsError
 from repro.semantics.rendezvous import (
     RendezvousStep,

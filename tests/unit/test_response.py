@@ -1,12 +1,9 @@
 """Unit tests for the leads-to checker (repro.check.response)."""
 
-import pytest
-
-from repro import AsyncSystem, RefinementConfig, migratory_protocol, refine
+from repro import AsyncSystem, RefinementConfig, refine
 from repro.check.response import (
     check_response,
     grant_edge,
-    remote_in_state,
 )
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import AsyncSystem, explore, migratory_protocol, refine
+from repro import AsyncSystem, explore
 from repro.protocols.handwritten import handwritten_migratory
 from repro.sim import (
     AccessClass,

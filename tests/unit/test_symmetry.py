@@ -6,11 +6,8 @@ from repro import (
     AsyncSystem,
     RendezvousSystem,
     explore,
-    invalidate_protocol,
-    migratory_protocol,
-    refine,
 )
-from repro.check.symmetry import SymmetricSystem, SymmetrySpec, normalize
+from repro.check.symmetry import SymmetricSystem, normalize
 from repro.errors import CheckError
 from repro.protocols.symmetry import (
     INVALIDATE_SYMMETRY,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import migratory_protocol, refine
 from repro.semantics.network import ACK, REQ, Channels, Msg
 from repro.sim import AccessClass, Simulator, TraceWorkload
 from repro.sim.trace import TraceEvent, derive_message_events

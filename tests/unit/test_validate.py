@@ -121,3 +121,94 @@ class TestErrorAggregation:
         assert len(problems) >= 2
         joined = "\n".join(problems)
         assert "terminal" in joined and "single rendezvous" in joined
+
+
+class TestLegacyStringCompatibility:
+    """collect_violations is now a façade over repro.analysis; its output
+    must stay byte-identical for existing callers."""
+
+    def test_exact_strings_and_order(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", out("m1", to="a"), out("m2", to="dead"))
+        b.state("dead")
+        assert collect_violations(protocol("p", simple_home(), b.build())) == [
+            "r.a: remote state offers 2 output guards; a remote may be the "
+            "active participant of only a single rendezvous",
+            "r.dead: terminal state (no guards); processes must always "
+            "eventually offer a rendezvous",
+        ]
+
+    def test_internal_cycle_string(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", tau("go", to="b"))
+        b.state("b", tau("back", to="a"))
+        problems = [p for p in collect_violations(
+            protocol("p", simple_home(), b.build()))
+            if "cycle" in p]
+        assert problems == [
+            "r: internal-state cycle a -> b -> a; the process could avoid "
+            "communication forever"]
+
+    def test_validation_error_lists_all_problems(self):
+        b = ProcessBuilder.remote("r")
+        b.state("a", out("m1", to="a"), out("m2", to="dead"))
+        b.state("dead")
+        with pytest.raises(ValidationError) as excinfo:
+            validate_protocol(protocol("p", simple_home(), b.build()))
+        message = str(excinfo.value)
+        assert message.startswith(
+            "protocol 'p' violates the paper's syntactic restrictions:")
+        assert message.count("\n  - ") == 2
+
+
+class TestAddressingRestrictions:
+    """The builder refuses bad addressing up front, so these violations
+    need raw-AST construction; the validator must still catch them."""
+
+    def _process(self, kind, guards):
+        from repro.csp.ast import ProcessDef, StateDef
+        return ProcessDef(
+            name="p", kind=kind,
+            states={"a": StateDef(name="a", guards=tuple(guards))},
+            initial_state="a")
+
+    def test_home_output_without_target(self):
+        from repro.csp.ast import Output, ProcessKind
+        process = self._process(ProcessKind.HOME,
+                                [Output(msg="m", to="a")])
+        with pytest.raises(ValidationError,
+                           match="lacks a remote target"):
+            validate_process(process)
+
+    def test_home_input_without_sender(self):
+        from repro.csp.ast import Input, ProcessKind
+        process = self._process(ProcessKind.HOME,
+                                [Input(msg="m", to="a")])
+        with pytest.raises(ValidationError,
+                           match="lacks a sender pattern"):
+            validate_process(process)
+
+    def test_remote_output_with_target(self):
+        from repro.csp.ast import ConstTarget, Output, ProcessKind
+        process = self._process(
+            ProcessKind.REMOTE,
+            [Output(msg="m", to="a", target=ConstTarget(0))])
+        with pytest.raises(ValidationError, match="star topology"):
+            validate_process(process)
+
+    def test_remote_input_with_sender(self):
+        from repro.csp.ast import ProcessKind
+        process = self._process(
+            ProcessKind.REMOTE,
+            [inp("m", sender=AnySender(), to="a")])
+        with pytest.raises(ValidationError, match="star topology"):
+            validate_process(process)
+
+    def test_diagnostics_use_registered_codes(self):
+        from repro.analysis.restrictions import process_restrictions
+        from repro.csp.ast import Input, Output, ProcessKind
+        process = self._process(
+            ProcessKind.HOME,
+            [Output(msg="m", to="a"), Input(msg="m2", to="a")])
+        codes = [d.code for d in process_restrictions(process)]
+        assert codes == ["P2402", "P2403"]
