@@ -17,6 +17,10 @@ space is explored.  This subsystem makes that a first-class tool:
 * :mod:`~repro.analysis.bufferdemand` — static home-buffer-demand bound;
 * :mod:`~repro.analysis.transients` — transient-exit sanity on refined
   machines;
+* :mod:`~repro.analysis.symbolic` — symbolic two-node configurations and
+  the per-schema simulation obligations (section 4);
+* :mod:`~repro.analysis.simulation` — the certificate checker that
+  discharges those obligations against ``abs`` (``P44xx``);
 * :mod:`~repro.analysis.manager` — the pass manager
   (:func:`analyze_protocol` / :func:`analyze_refined`).
 
@@ -39,16 +43,19 @@ from .diagnostics import (
 from .manager import AnalysisContext, analyze_protocol, analyze_refined
 from .overlap import patterns_may_overlap
 from .reachability import unreachable_states
+from .simulation import CertificateReport, check_certificate
 
 __all__ = [
     "CODES",
     "AnalysisContext",
     "AnalysisReport",
+    "CertificateReport",
     "CodeInfo",
     "Diagnostic",
     "Severity",
     "analyze_protocol",
     "analyze_refined",
+    "check_certificate",
     "home_buffer_bound",
     "patterns_may_overlap",
     "remote_demand",

@@ -113,6 +113,17 @@ CODES: dict[str, CodeInfo] = _registry(
     CodeInfo("P3402", "fire-and-forget message received by remote", "5",
              Severity.ERROR),
     CodeInfo("P3403", "transient-state inventory", "3", Severity.INFO),
+    # -- simulation-certificate obligations (section 4, Equation 1) ---------
+    CodeInfo("P4401", "non-commuting transition", "4", Severity.ERROR),
+    CodeInfo("P4402", "abstraction undefined outside the fire-and-forget "
+                      "carve-out", "4", Severity.ERROR),
+    CodeInfo("P4403", "transient state with no abstract preimage", "4",
+             Severity.ERROR),
+    CodeInfo("P4404", "step-table target mismatch against the AST", "3",
+             Severity.ERROR),
+    CodeInfo("P4405", "certificate inventory", "4", Severity.INFO),
+    CodeInfo("P4406", "certificate incomplete (budget exhausted)", "4",
+             Severity.WARNING),
 )
 
 
@@ -233,6 +244,20 @@ class AnalysisReport:
             subject=self.subject,
             diagnostics=tuple(d for d in self.diagnostics
                               if d.code in wanted),
+            passes_run=self.passes_run)
+
+    def ignore(self, codes: Iterable[str]) -> "AnalysisReport":
+        """A report with the given diagnostic codes removed (``select``'s
+        complement; the CLI's ``--ignore``)."""
+        dropped = frozenset(codes)
+        unknown = dropped - frozenset(CODES)
+        if unknown:
+            raise KeyError(
+                f"unknown diagnostic code(s): {', '.join(sorted(unknown))}")
+        return AnalysisReport(
+            subject=self.subject,
+            diagnostics=tuple(d for d in self.diagnostics
+                              if d.code not in dropped),
             passes_run=self.passes_run)
 
     def render_text(self) -> str:

@@ -65,7 +65,16 @@ PROTOCOL_PASSES: tuple[tuple[str, PassFn], ...] = (
 
 REFINED_PASSES: tuple[tuple[str, PassFn], ...] = (
     ("transients", lambda ctx: transient_pass(_require_refined(ctx))),
+    ("simulation", lambda ctx: _simulation_pass(ctx)),
 )
+
+
+def _simulation_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
+    # deferred: .simulation pulls in the executable semantics, which reads
+    # the step table from repro.refine — a top-level import would be cyclic
+    from .simulation import simulation_pass
+
+    return simulation_pass(_require_refined(ctx))
 
 
 def _require_refined(ctx: AnalysisContext) -> "RefinedProtocol":
@@ -104,8 +113,14 @@ def analyze_protocol(protocol: Protocol, *,
 def analyze_refined(refined: "RefinedProtocol", *,
                     nodes: int = DEFAULT_NODES,
                     select: Optional[Iterable[str]] = None,
+                    include_protocol_passes: bool = True,
                     ) -> AnalysisReport:
-    """Run the full suite plus transient checks over a refined protocol."""
+    """Run the full suite plus refined-only checks over a refined protocol.
+
+    ``include_protocol_passes=False`` runs only the refined-machine passes
+    (transients, simulation certificate) — the refinement engine uses this
+    as its post-plan gate, having already vetted the rendezvous AST.
+    """
     config = refined.plan.config
     ctx = AnalysisContext(
         protocol=refined.protocol,
@@ -115,7 +130,9 @@ def analyze_refined(refined: "RefinedProtocol", *,
         strict_cycles=config.strict_reqreply_cycles,
         refined=refined,
     )
-    return _run(refined.name, ctx, PROTOCOL_PASSES + REFINED_PASSES, select)
+    passes = (PROTOCOL_PASSES + REFINED_PASSES if include_protocol_passes
+              else REFINED_PASSES)
+    return _run(refined.name, ctx, passes, select)
 
 
 def _run(subject: str, ctx: AnalysisContext,

@@ -1,0 +1,403 @@
+"""The simulation-obligation certificate checker (P44xx).
+
+Discharges the paper's Equation 1 — every asynchronous step is a stutter
+under ``abs`` or maps to rendezvous steps of the source protocol — *per
+transition schema instance* over symbolic two-node configurations,
+instead of exploring an asynchronous state space.  See
+:mod:`repro.analysis.symbolic` for how the obligations are produced and
+why two nodes suffice; this module checks them and turns failures into
+diagnostics:
+
+* **P4401** — a transition does not commute with ``abs`` (the executed
+  step's image is neither a stutter nor reachable within the allowed
+  number of rendezvous steps), or a schema row could not execute at all.
+* **P4402** — ``abs`` is undefined on a reachable configuration outside
+  the documented fire-and-forget carve-out.
+* **P4403** — a transient state with no abstract preimage: ``abs`` finds
+  no witness message, no input guard accepts a fused reply, or the step
+  table promises a reply the AST cannot consume.
+* **P4404** — the step table's control targets (ack/nack rewind and
+  fast-forward states, fused replies) disagree with the ones the AST
+  derives — the certificate's static half.
+* **P4405** (info) — the certificate inventory: how many contexts and
+  obligations were discharged, and how.
+* **P4406** (warning) — a budget truncated the certificate; the verdict
+  covers only what was enumerated.
+
+The checker runs as the ``simulation`` pass of
+:func:`repro.analysis.manager.analyze_refined`, surfaces in ``repro
+lint`` and gates :func:`repro.refine.engine.refine`.  Its verdict is
+cross-checked against explicit-state exploration
+(:func:`repro.check.simulation.check_simulation`) by the differential
+test harness, including on seeded mutants injected through
+:meth:`repro.refine.transitions.StepTable.mutate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Union
+
+from ..csp.ast import Input
+from ..refine.abstraction import AbstractionUndefined, abstract_state
+from ..refine.plan import RefinedProtocol
+from ..refine.transitions import (
+    HOME as HOME_ROLE,
+    KIND_REQUEST,
+    StepTable,
+    build_step_table,
+)
+from ..semantics.asynchronous import AsyncState, AsyncSystem
+from ..semantics.network import NOTE, REPL
+from ..semantics.rendezvous import RendezvousSystem
+from ..semantics.state import RvState
+from .diagnostics import CODES, Diagnostic, Severity, make
+from .symbolic import (
+    Obligation,
+    SchemaFault,
+    enumerate_contexts,
+    enumerate_obligations,
+)
+
+__all__ = ["CertificateReport", "check_certificate", "simulation_pass"]
+
+_EmitFn = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class CertificateReport:
+    """Outcome of one certificate run (all obligations of one protocol)."""
+
+    subject: str
+    n_contexts: int
+    n_obligations: int
+    n_stutters: int
+    n_mapped: int
+    n_mapped_deep: int
+    n_carved: int  # fire-and-forget carve-out obligations (skipped)
+    n_interference: int
+    closure_states: int
+    complete: bool
+    diagnostics: tuple[Diagnostic, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.severity >= Severity.ERROR for d in self.diagnostics)
+
+    def describe(self) -> str:
+        verdict = "CERTIFICATE HOLDS" if self.ok else "CERTIFICATE FAILS"
+        return f"{verdict}: {self.inventory()}"
+
+    def inventory(self) -> str:
+        return (f"{self.n_obligations} obligations over "
+                f"{self.n_contexts} contexts ({self.n_stutters} stutters, "
+                f"{self.n_mapped} single-step, {self.n_mapped_deep} "
+                f"multi-step fused, {self.n_carved} carved fire-and-forget, "
+                f"{self.n_interference} interference); closure "
+                f"{self.closure_states} states")
+
+
+def check_certificate(refined: RefinedProtocol, *,
+                      table: Optional[StepTable] = None,
+                      max_contexts: int = 4096,
+                      max_expansions: int = 20_000,
+                      max_failures: int = 25,
+                      ) -> CertificateReport:
+    """Discharge every simulation obligation of ``refined``.
+
+    ``table`` defaults to the table derived from the AST; passing a
+    mutated table checks the *mutant* semantics against the unchanged
+    abstraction — the fault-injection mode of the differential harness.
+    """
+    derived = build_step_table(refined)
+    if table is None:
+        table = derived
+    diagnostics: list[Diagnostic] = []
+    seen_keys: set[tuple[str, str, str]] = set()
+    n_suppressed = 0
+
+    def emit(code: str, location: str, message: str,
+             hint: Optional[str] = None, dedup: str = "") -> None:
+        nonlocal n_suppressed
+        key = (code, location, dedup or message)
+        if key in seen_keys:
+            return
+        seen_keys.add(key)
+        if CODES[code].default_severity >= Severity.ERROR:
+            n_errors = sum(1 for d in diagnostics
+                           if d.severity >= Severity.ERROR)
+            if n_errors >= max_failures:
+                n_suppressed += 1
+                return
+        diagnostics.append(make(code, location, message, hint=hint))
+
+    # -- static half: the table must agree with the AST ----------------------
+    _check_table(table, derived, emit)
+    _check_reply_exits(refined, table, emit)
+
+    # -- dynamic half: discharge the commutation obligations -----------------
+    system = AsyncSystem(refined, 2, table=table)
+    rv_system = RendezvousSystem(refined.protocol, 2)
+    contexts, contexts_complete = enumerate_contexts(
+        refined.protocol, max_states=max_contexts)
+    fused_depth = _fused_response_depths(refined)
+
+    abs_cache: dict[AsyncState, Union[RvState, AbstractionUndefined]] = {}
+    rv_succ_cache: dict[RvState, frozenset[RvState]] = {}
+
+    def abstraction(state: AsyncState) -> Union[RvState, AbstractionUndefined]:
+        cached = abs_cache.get(state)
+        if cached is None:
+            try:
+                cached = abstract_state(system, state)
+            except AbstractionUndefined as exc:
+                cached = exc
+            abs_cache[state] = cached
+        return cached
+
+    def rv_successors(state: RvState) -> frozenset[RvState]:
+        cached = rv_succ_cache.get(state)
+        if cached is None:
+            cached = frozenset(nxt for _a, nxt in rv_system.successors(state))
+            rv_succ_cache[state] = cached
+        return cached
+
+    def reachable_within(src: RvState, dst: RvState, depth: int) -> int:
+        """Fewest rendezvous hops from ``src`` to ``dst`` within ``depth``."""
+        frontier = {src}
+        for hops in range(1, depth + 1):
+            nxt: set[RvState] = set()
+            for state in frontier:
+                succ = rv_successors(state)
+                if dst in succ:
+                    return hops
+                nxt.update(succ)
+            frontier = nxt
+        return 0
+
+    n_obligations = n_stutters = n_mapped = n_deep = 0
+    n_carved = n_interference = 0
+    stats: dict[str, int] = {}
+    for item in enumerate_obligations(system, contexts,
+                                      max_expansions=max_expansions,
+                                      stats=stats):
+        if isinstance(item, SchemaFault):
+            emit("P4401", item.location,
+                 f"transition schema row cannot execute: {item.message} "
+                 f"(in {item.before.describe()})",
+                 dedup=item.message)
+            continue
+        n_obligations += 1
+        if item.interference:
+            n_interference += 1
+        verdict = _check_obligation(item, system, abstraction,
+                                    reachable_within, fused_depth, emit)
+        if verdict == "stutter":
+            n_stutters += 1
+        elif verdict == "mapped":
+            n_mapped += 1
+        elif verdict == "deep":
+            n_deep += 1
+        elif verdict == "carved":
+            n_carved += 1
+
+    complete = contexts_complete and not stats.get("truncated")
+    if not complete:
+        what = []
+        if not contexts_complete:
+            what.append(f"rendezvous context budget {max_contexts}")
+        if stats.get("truncated"):
+            what.append(f"closure budget {max_expansions}")
+        emit("P4406", "protocol",
+             f"certificate truncated by {' and '.join(what)}; obligations "
+             "beyond the budget were not discharged",
+             hint="raise max_contexts/max_expansions to certify fully")
+
+    report = CertificateReport(
+        subject=refined.name,
+        n_contexts=len(contexts),
+        n_obligations=n_obligations,
+        n_stutters=n_stutters,
+        n_mapped=n_mapped,
+        n_mapped_deep=n_deep,
+        n_carved=n_carved,
+        n_interference=n_interference,
+        closure_states=stats.get("expanded", 0),
+        complete=complete,
+        diagnostics=tuple(diagnostics),
+    )
+    inventory = report.inventory()
+    if n_suppressed:
+        inventory += f" ({n_suppressed} further failure(s) suppressed)"
+    diagnostics.append(make("P4405", "protocol", inventory))
+    return CertificateReport(
+        subject=report.subject, n_contexts=report.n_contexts,
+        n_obligations=report.n_obligations, n_stutters=report.n_stutters,
+        n_mapped=report.n_mapped, n_mapped_deep=report.n_mapped_deep,
+        n_carved=report.n_carved, n_interference=report.n_interference,
+        closure_states=report.closure_states, complete=report.complete,
+        diagnostics=tuple(diagnostics))
+
+
+def simulation_pass(refined: RefinedProtocol) -> Iterator[Diagnostic]:
+    """The pass-manager entry point: certificate diagnostics only."""
+    return iter(check_certificate(refined).diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# obligation checking
+# ---------------------------------------------------------------------------
+
+
+def _check_obligation(
+        item: Obligation,
+        system: AsyncSystem,
+        abstraction: Callable[[AsyncState],
+                              Union[RvState, AbstractionUndefined]],
+        reachable_within: Callable[[RvState, RvState, int], int],
+        fused_depth: dict[str, int],
+        emit: _EmitFn) -> str:
+    """Check one obligation; returns its inventory bucket."""
+    before_abs = abstraction(item.before)
+    after_abs = abstraction(item.step.state)
+
+    for state, image in ((item.before, before_abs),
+                         (item.step.state, after_abs)):
+        if isinstance(image, AbstractionUndefined):
+            if image.is_note_carveout and _has_note(state) \
+                    and system.plan.fire_and_forget:
+                return "carved"
+            if image.is_note_carveout:
+                emit("P4402", item.location,
+                     f"abs undefined ({image.reason}) on rule {item.rule} "
+                     "but the plan declares no fire-and-forget messages: "
+                     f"{image} (in {state.describe()})",
+                     dedup=f"{item.rule}:{image.reason}")
+            else:
+                emit("P4403", item.location,
+                     f"abs has no preimage ({image.reason}) after rule "
+                     f"{item.rule}: {image} (in {state.describe()})",
+                     hint="a transient state must always hold a witness "
+                          "message (request, ack, nack or reply) for abs "
+                          "to discharge",
+                     dedup=f"{item.rule}:{image.reason}")
+            return "failed"
+
+    assert isinstance(before_abs, RvState)
+    assert isinstance(after_abs, RvState)
+    if before_abs == after_abs:
+        return "stutter"
+    # A step that puts a fused REPL in flight fast-forwards its target
+    # through both rendezvous at once (plus the responder's internal tau
+    # chain for a home-initiated pair), so it may map to several hops;
+    # every other step maps to at most one.
+    allowed = 1
+    repl = next((m for m in item.step.sends if m.kind == REPL), None)
+    if repl is not None and repl.msg is not None:
+        allowed = fused_depth.get(repl.msg, 1)
+    hops = reachable_within(before_abs, after_abs, allowed)
+    if hops == 1:
+        return "mapped"
+    if hops > 1:
+        return "deep"
+    emit("P4401", item.location,
+         f"rule {item.rule} ({item.step.action.describe()}) does not "
+         f"commute: abs maps {before_abs.describe()} -> "
+         f"{after_abs.describe()}, not reachable in <= {allowed} "
+         "rendezvous step(s)",
+         hint="check the rewind/fast-forward targets of the step-table "
+              "row that fired here",
+         dedup=f"{item.rule}:{item.step.action.describe()}")
+    return "failed"
+
+
+def _has_note(state: AsyncState) -> bool:
+    if any(entry.note for entry in state.home.buffer):
+        return True
+    return any(msg.kind == NOTE
+               for _i, _direction, msg in state.channels.in_flight())
+
+
+# ---------------------------------------------------------------------------
+# the static half
+# ---------------------------------------------------------------------------
+
+
+def _check_table(table: StepTable, derived: StepTable,
+                 emit: _EmitFn) -> None:
+    """P4404: every table row must match the AST-derived control data."""
+    for spec in table:
+        expected = derived.get(*spec.key)
+        if expected is None:
+            emit("P4404", f"{spec.role}.{spec.state}",
+                 f"step-table row {spec.describe()} has no AST counterpart")
+            continue
+        if spec == expected:
+            continue
+        fields = [name for name in ("msg", "kind", "rewind_to",
+                                    "forward_to", "fused_reply", "reply_to")
+                  if getattr(spec, name) != getattr(expected, name)]
+        emit("P4404", f"{spec.role}.{spec.state}",
+             f"step-table row disagrees with the AST on "
+             f"{', '.join(fields)}: table says {spec.describe()}, AST "
+             f"derives {expected.describe()}",
+             hint="the certificate only covers the table the refinement "
+                  "derived; rebuild it with build_step_table")
+    for spec in derived:
+        if table.get(*spec.key) is None:
+            emit("P4404", f"{spec.role}.{spec.state}",
+                 f"step table is missing the row for {spec.describe()}")
+
+
+def _check_reply_exits(refined: RefinedProtocol, table: StepTable,
+                       emit: _EmitFn) -> None:
+    """P4403 (static): a promised fused reply must have a consuming input."""
+    for spec in table:
+        if spec.fused_reply is None or spec.kind != KIND_REQUEST:
+            continue
+        process = (refined.protocol.home if spec.role == HOME_ROLE
+                   else refined.protocol.remote)
+        mid = spec.reply_to
+        if mid is None or mid not in process.states:
+            emit("P4403", f"{spec.role}.{spec.state}",
+                 f"fused request {spec.msg!r} promises reply "
+                 f"{spec.fused_reply!r} in unknown state {mid!r}")
+            continue
+        if not any(g.msg == spec.fused_reply
+                   for g in process.state(mid).inputs):
+            emit("P4403", f"{spec.role}.{mid}",
+                 f"fused request {spec.msg!r} is acknowledged by reply "
+                 f"{spec.fused_reply!r}, but state {mid!r} has no input "
+                 "guard consuming it — the requester can never be released",
+                 hint="an elided ack must be replaced by a consumable "
+                      "reply; un-fuse the pair or add the reply input")
+
+
+def _fused_response_depths(refined: RefinedProtocol) -> dict[str, int]:
+    """Allowed rendezvous hops, keyed by home-initiated fused reply msg.
+
+    The responder's C3 fused response consumes the request, runs its
+    internal tau chain and emits the reply in one asynchronous step, so
+    the obligation maps to ``2 + len(tau chain)`` rendezvous steps.
+    (A *remote*-initiated pair never compresses: the home completes the
+    request rendezvous on consuming it from the buffer, one hop, and its
+    later reply emission is the second hop — so its reply stays at the
+    default allowance of 1.)
+    """
+    depths: dict[str, int] = {}
+    remote = refined.protocol.remote
+    for msg in refined.plan.home_fused_requests:
+        worst = 0
+        for state in remote.states.values():
+            for guard in state.guards:
+                if not isinstance(guard, Input) or guard.msg != msg:
+                    continue
+                hops = 0
+                cursor = remote.state(guard.to)
+                while (cursor.is_internal and len(cursor.guards) == 1
+                       and hops <= len(remote.states)):
+                    hops += 1
+                    cursor = remote.state(cursor.taus[0].to)
+                worst = max(worst, hops)
+        depths[refined.plan.reply_of[msg]] = 2 + worst
+    return depths

@@ -155,12 +155,14 @@ def explore(
     return result
 
 
-def _with_trace(build_trace: Callable, state: Hashable) -> Counterexample:
+def _with_trace(build_trace: Callable[[Hashable], tuple[list[Hashable],
+                                                        list[object]]],
+                state: Hashable) -> Counterexample:
     states, steps = build_trace(state)
     return Counterexample("deadlock-freedom", states, steps)
 
 
-def _approx_bytes(visited: dict) -> int:
+def _approx_bytes(visited: dict[Hashable, object]) -> int:
     """Crude footprint estimate: dict overhead + one sampled state size.
 
     This is deliberately rough — it exists so benchmark output can narrate

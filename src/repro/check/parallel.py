@@ -34,7 +34,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Any, Callable, Hashable, Optional
 
 from .explorer import explore
 from .stats import ExplorationResult
@@ -55,17 +55,17 @@ class SystemSpec:
     protocol: str
     level: str  # "rendezvous" | "async"
     n_remotes: int
-    config: tuple = ()
+    config: tuple[tuple[str, Any], ...] = ()
     symmetry: bool = False
 
-    def config_dict(self) -> dict:
+    def config_dict(self) -> dict[str, Any]:
         return dict(self.config)
 
 
-_EXTRA_FACTORIES: dict[str, object] = {}
+_EXTRA_FACTORIES: dict[str, Callable[[], Any]] = {}
 
 
-def register_factory(name: str, factory) -> None:
+def register_factory(name: str, factory: Callable[[], Any]) -> None:
     """Register a module-level protocol factory for worker processes.
 
     ``factory`` must be importable by name from a module (a plain function,
@@ -74,7 +74,7 @@ def register_factory(name: str, factory) -> None:
     _EXTRA_FACTORIES[name] = factory
 
 
-def build_system(spec: SystemSpec):
+def build_system(spec: SystemSpec) -> Any:
     """Construct the transition system described by ``spec`` (worker side)."""
     from ..protocols.invalidate import invalidate_protocol
     from ..protocols.mesi import mesi_protocol
@@ -85,7 +85,7 @@ def build_system(spec: SystemSpec):
     from ..semantics.asynchronous import AsyncSystem
     from ..semantics.rendezvous import RendezvousSystem
 
-    factories = {
+    factories: dict[str, Callable[[], Any]] = {
         "migratory": migratory_protocol,
         "invalidate": invalidate_protocol,
         "msi": msi_protocol,
@@ -97,6 +97,7 @@ def build_system(spec: SystemSpec):
     except KeyError:
         raise KeyError(f"unknown protocol {spec.protocol!r}; register a "
                        "factory with register_factory()") from None
+    system: Any
     if spec.level == "rendezvous":
         system = RendezvousSystem(protocol, spec.n_remotes)
     elif spec.level == "async":
@@ -113,7 +114,7 @@ def build_system(spec: SystemSpec):
 
 # -- worker side ---------------------------------------------------------------
 
-_WORKER_SYSTEM = None
+_WORKER_SYSTEM: Any = None
 
 
 def _init_worker(spec: SystemSpec) -> None:
@@ -121,10 +122,10 @@ def _init_worker(spec: SystemSpec) -> None:
     _WORKER_SYSTEM = build_system(spec)
 
 
-def _expand_chunk(states: list) -> list[tuple[int, list]]:
+def _expand_chunk(states: list[Hashable]) -> list[tuple[int, list[Hashable]]]:
     """Expand a chunk: per state, (n_transitions, successor states)."""
     system = _WORKER_SYSTEM
-    out = []
+    out: list[tuple[int, list[Hashable]]] = []
     for state in states:
         successors = system.successors(state)
         out.append((len(successors), [nxt for _a, nxt in successors]))
@@ -161,7 +162,7 @@ def explore_parallel(
     t0 = time.perf_counter()
     init = local_system.initial_state()
     visited: set[Hashable] = {init}
-    frontier: list = [init]
+    frontier: list[Hashable] = [init]
     n_transitions = 0
     n_deadlocks = 0
     completed = True
@@ -179,6 +180,7 @@ def explore_parallel(
                 completed, stop_reason = False, "time budget exceeded"
                 break
 
+            expanded: list[tuple[int, list[Hashable]]]
             if len(frontier) < fanout_threshold:
                 expanded = [_expand_locally(local_system, s)
                             for s in frontier]
@@ -189,7 +191,7 @@ def explore_parallel(
                 for result in pool.map(_expand_chunk, chunks):
                     expanded.extend(result)
 
-            next_frontier = []
+            next_frontier: list[Hashable] = []
             for n_succ, successors in expanded:
                 n_transitions += n_succ
                 if n_succ == 0 and not allow_deadlock:
@@ -207,12 +209,13 @@ def explore_parallel(
         seconds=time.perf_counter() - t0,
         completed=completed,
         stop_reason=stop_reason,
-        deadlocks=[None] * n_deadlocks,  # counts only; traces need the
-        # sequential explorer's parent pointers
+        # counts only; building witness traces needs the sequential
+        # explorer's parent pointers
+        deadlock_count=n_deadlocks,
     )
     return result
 
 
-def _expand_locally(system, state) -> tuple[int, list]:
+def _expand_locally(system: Any, state: Hashable) -> tuple[int, list[Hashable]]:
     successors = system.successors(state)
     return len(successors), [nxt for _a, nxt in successors]

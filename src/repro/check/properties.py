@@ -55,11 +55,16 @@ def assert_safe(result: ExplorationResult) -> ExplorationResult:
         raise PropertyViolation(
             f"{result.system_name}: invariant {first.property_name!r} "
             f"violated\n{first.describe()}", witness=first)
-    if result.deadlocks:
-        first = result.deadlocks[0]
+    if result.deadlock_count:
+        if result.deadlocks:
+            first = result.deadlocks[0]
+            raise PropertyViolation(
+                f"{result.system_name}: deadlock reachable\n"
+                f"{first.describe()}", witness=first)
         raise PropertyViolation(
-            f"{result.system_name}: deadlock reachable\n{first.describe()}",
-            witness=first)
+            f"{result.system_name}: {result.deadlock_count} deadlock "
+            "state(s) reachable (no witness trace; re-run the sequential "
+            "explorer for one)")
     if not result.completed:
         raise BudgetExceeded(
             f"{result.system_name}: exploration incomplete "
@@ -136,7 +141,7 @@ def check_progress(
         succs = expand(order[idx])
         if not succs:
             deadlocks.append(order[idx])
-        edges = []
+        edges: list[tuple[int, bool]] = []
         for nxt, progress in succs:
             j = states.get(nxt)
             if j is None:
@@ -244,7 +249,7 @@ def tarjan_sccs(adjacency: list[list[int]]) -> list[list[int]]:
                 continue
             work.pop()
             if low[node] == index[node]:
-                comp = []
+                comp: list[int] = []
                 while True:
                     member = stack.pop()
                     on_stack[member] = False

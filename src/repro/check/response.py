@@ -69,7 +69,7 @@ class ResponseReport:
 def check_response(
     system: Any,
     request: Callable[[Any], bool],
-    response: Callable[[Any, Any, tuple, Any], bool],
+    response: Callable[[Any, Any, tuple[Any, ...], Any], bool],
     *,
     max_states: Optional[int] = None,
     max_seconds: Optional[float] = None,
@@ -102,7 +102,7 @@ def check_response(
             completed, stop_reason = False, "time budget exceeded"
             break
         current = frontier.popleft()
-        edges = []
+        edges: list[tuple[int, bool]] = []
         for action, completes, nxt in expand(order[current]):
             j = index.get(nxt)
             if j is None:
@@ -190,37 +190,40 @@ def check_response(
     )
 
 
-def _expander(system: Any):
+def _expander(system: Any) -> Callable[[Any], list[tuple[Any, Any, Any]]]:
     if hasattr(system, "steps"):
-        def expand(state):
+        def expand_async(state: Any) -> list[tuple[Any, Any, Any]]:
             return [(s.action, s.completes, s.state)
                     for s in system.steps(state)]
-        return expand
+        return expand_async
 
-    def expand(state):
+    def expand_rv(state: Any) -> list[tuple[Any, Any, Any]]:
         return [(action, (action,), nxt)
                 for action, nxt in system.successors(state)]
-    return expand
+    return expand_rv
 
 
 # -- convenience predicates ---------------------------------------------------
 
 
-def remote_in_state(remote: int, names: frozenset[str] | set[str]):
+def remote_in_state(remote: int,
+                    names: frozenset[str] | set[str]) -> Callable[[Any], bool]:
     """State predicate: remote ``i``'s control state is one of ``names``."""
     names = frozenset(names)
 
-    def predicate(state) -> bool:
+    def predicate(state: Any) -> bool:
         return state.remotes[remote].state in names
 
     return predicate
 
 
-def grant_edge(remote: int, msgs: frozenset[str] | set[str]):
+def grant_edge(remote: int, msgs: frozenset[str] | set[str],
+               ) -> Callable[[Any, Any, Any, Any], bool]:
     """Edge predicate: a rendezvous in ``msgs`` completes for ``remote``."""
     msgs = frozenset(msgs)
 
-    def predicate(_state, _action, completes, _next) -> bool:
+    def predicate(_state: Any, _action: Any, completes: Any,
+                  _next: Any) -> bool:
         return any(c.msg in msgs and c.remote == remote for c in completes)
 
     return predicate

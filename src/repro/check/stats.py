@@ -55,8 +55,14 @@ class ExplorationResult:
     completed: bool
     #: why the run stopped early, when ``completed`` is False
     stop_reason: Optional[str] = None
-    #: states with no outgoing transitions (deadlocks at this level)
+    #: states with no outgoing transitions (deadlocks at this level);
+    #: parallel/aggregated runs may report counts only (see
+    #: ``deadlock_count``), keeping this list empty
     deadlocks: list[Any] = field(default_factory=list)
+    #: number of deadlocked states found; authoritative even when the
+    #: ``deadlocks`` witness list is empty (workers report counts, not
+    #: traces)
+    deadlock_count: int = 0
     #: first counterexample per violated invariant
     violations: list[Counterexample] = field(default_factory=list)
     #: adjacency as ``{state: [(action, successor), ...]}`` when graph
@@ -66,10 +72,15 @@ class ExplorationResult:
     #: memory-budget narrative (Python object sizes, not SPIN's)
     approx_bytes: int = 0
 
+    def __post_init__(self) -> None:
+        if self.deadlocks and self.deadlock_count < len(self.deadlocks):
+            self.deadlock_count = len(self.deadlocks)
+
     @property
     def ok(self) -> bool:
         """Completed with no deadlocks and no invariant violations."""
-        return self.completed and not self.deadlocks and not self.violations
+        return (self.completed and not self.deadlock_count
+                and not self.violations)
 
     def cell(self) -> str:
         """Render as a Table 3 cell: ``states/seconds`` or ``Unfinished``."""
@@ -81,8 +92,8 @@ class ExplorationResult:
         status = "complete" if self.completed else \
             f"UNFINISHED ({self.stop_reason})"
         extra = ""
-        if self.deadlocks:
-            extra += f", {len(self.deadlocks)} deadlock state(s)"
+        if self.deadlock_count:
+            extra += f", {self.deadlock_count} deadlock state(s)"
         if self.violations:
             names = ", ".join(v.property_name for v in self.violations)
             extra += f", violations: {names}"

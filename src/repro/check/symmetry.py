@@ -29,9 +29,9 @@ use reduction: their edge labels distinguish remote identities.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Any, Union
 
-from ..csp.env import Env
+from ..csp.env import Env, Value
 from ..errors import CheckError
 from ..semantics.asynchronous import AsyncState, BufEntry, HomeNode
 from ..semantics.network import Channels
@@ -61,15 +61,16 @@ class SymmetricSystem:
     remotes only hold data), which is asserted when possible.
     """
 
-    def __init__(self, inner, spec: SymmetrySpec) -> None:
+    def __init__(self, inner: Any, spec: SymmetrySpec) -> None:
         self.inner = inner
         self.spec = spec
         self.n = inner.n_remotes
 
-    def initial_state(self):
+    def initial_state(self) -> Union[RvState, AsyncState]:
         return normalize(self.inner.initial_state(), self.spec)
 
-    def successors(self, state):
+    def successors(self, state: Union[RvState, AsyncState],
+                   ) -> list[tuple[Any, Union[RvState, AsyncState]]]:
         return [(action, normalize(nxt, self.spec))
                 for action, nxt in self.inner.successors(state)]
 
@@ -87,30 +88,32 @@ def normalize(state: Union[RvState, AsyncState],
 # ---------------------------------------------------------------------------
 
 
-def _env_key(env: Env) -> tuple:
+def _env_key(env: Env) -> tuple[tuple[str, str], ...]:
     return tuple((k, repr(v)) for k, v in env.items())
 
 
-def _home_refs(env: Env, spec: SymmetrySpec, i: int) -> tuple:
+def _home_refs(env: Env, spec: SymmetrySpec,
+               i: int) -> tuple[tuple[str, ...], tuple[str, ...]]:
     """How the home's id-typed variables point at remote ``i``."""
     singles = tuple(sorted(var for var in spec.id_vars
                            if var in env and env[var] == i))
-    members = tuple(sorted(var for var in spec.set_vars
-                           if var in env
-                           and isinstance(env[var], frozenset)
-                           and i in env[var]))
+    members = tuple(sorted(
+        var for var in spec.set_vars
+        if isinstance(val := env.get(var), frozenset) and i in val))
     return singles, members
 
 
 def _relabel_env(env: Env, spec: SymmetrySpec,
                  relabel: dict[int, int]) -> Env:
-    changes = {}
+    changes: dict[str, Value] = {}
     for var in spec.id_vars:
-        if var in env and isinstance(env[var], int) and env[var] in relabel:
-            changes[var] = relabel[env[var]]
+        val = env.get(var)
+        if isinstance(val, int) and val in relabel:
+            changes[var] = relabel[val]
     for var in spec.set_vars:
-        if var in env and isinstance(env[var], frozenset):
-            changes[var] = frozenset(relabel.get(m, m) for m in env[var])
+        val = env.get(var)
+        if isinstance(val, frozenset):
+            changes[var] = frozenset(relabel.get(m, m) for m in val)
     return env.update(changes) if changes else env
 
 
@@ -120,7 +123,7 @@ def _apply_order(order: list[int]) -> dict[int, int]:
 
 
 def _normalize_rv(state: RvState, spec: SymmetrySpec) -> RvState:
-    def signature(i: int) -> tuple:
+    def signature(i: int) -> tuple[Any, ...]:
         proc = state.remotes[i]
         return (proc.state, _env_key(proc.env),
                 _home_refs(state.home.env, spec, i))
@@ -138,7 +141,7 @@ def _normalize_rv(state: RvState, spec: SymmetrySpec) -> RvState:
 def _normalize_async(state: AsyncState, spec: SymmetrySpec) -> AsyncState:
     home = state.home
 
-    def signature(i: int) -> tuple:
+    def signature(i: int) -> tuple[Any, ...]:
         node = state.remotes[i]
         down = tuple(m.describe()
                      for m in state.channels.queues[Channels.to_remote(i)])

@@ -5,9 +5,10 @@ Commands:
 * ``verify``   — model-check a library protocol at a given level/node count
   (``--symmetry`` explores one representative per remote-permutation orbit).
 * ``lint``     — run the static-analysis suite (section 2.4 restrictions,
-  reachability, guard overlap, fusability, buffer demand, transients) and
-  print structured diagnostics (``--json`` for machines, ``--strict`` to
-  fail on warnings, ``--select CODE`` to filter).
+  reachability, guard overlap, fusability, buffer demand, transients,
+  the P44xx simulation certificate) and print structured diagnostics
+  (``--json`` for machines, ``--strict`` to fail on warnings,
+  ``--select CODE`` / ``--ignore CODE`` to filter).
 * ``refine``   — print the refinement plan and the refined state machines.
 * ``simulate`` — run the discrete-event simulator and print metrics
   (``--msc N`` renders a message-sequence chart of the first N events).
@@ -128,11 +129,15 @@ def cmd_lint(args) -> int:
     from .analysis import CODES, Severity, analyze_protocol, analyze_refined
     from .errors import RefinementError, ValidationError
 
-    unknown = sorted(set(args.select) - set(CODES))
+    unknown = sorted((set(args.select) | set(args.ignore)) - set(CODES))
     if unknown:
         raise SystemExit(
             f"unknown diagnostic code(s): {', '.join(unknown)}; "
             "see docs/ANALYSIS.md for the catalogue")
+    overlap = sorted(set(args.select) & set(args.ignore))
+    if overlap:
+        raise SystemExit(
+            f"code(s) both selected and ignored: {', '.join(overlap)}")
     names = sorted(PROTOCOLS) if args.protocol == "all" else [args.protocol]
     try:
         config = _config(args)
@@ -153,12 +158,18 @@ def cmd_lint(args) -> int:
                                       nodes=args.nodes)
         if args.select:
             report = report.select(args.select)
+        if args.ignore:
+            report = report.ignore(args.ignore)
         severity = report.max_severity
         if severity is not None and (worst is None or severity > worst):
             worst = severity
         outputs.append(report.render_json() if args.json
                        else report.render_text())
-    print("\n\n".join(outputs))
+    if args.json and len(outputs) > 1:
+        # one parseable document, not concatenated ones (CI consumes this)
+        print("[" + ",\n".join(outputs) + "]")
+    else:
+        print("\n\n".join(outputs))
     threshold = Severity.WARNING if args.strict else Severity.ERROR
     return 1 if worst is not None and worst >= threshold else 0
 
@@ -274,7 +285,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "orbit (identical-remote symmetry reduction)")
     p.set_defaults(func=cmd_verify)
 
-    p = sub.add_parser("lint", help="run the static-analysis suite")
+    p = sub.add_parser(
+        "lint", help="run the static-analysis suite",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="examples:\n"
+               "  repro lint migratory --select P3301 --select P3302\n"
+               "      show only the fusability report\n"
+               "  repro lint all --ignore P3403 --ignore P4405\n"
+               "      hide the inventory notes\n"
+               "  repro lint all --strict\n"
+               "      exit 1 on warnings too (CI gate)\n"
+               "  repro lint msi --json > msi-lint.json\n"
+               "      machine-readable report")
     p.add_argument("protocol", choices=sorted(PROTOCOLS) + ["all"],
                    help="library protocol to lint, or 'all'")
     p.add_argument("-n", "--nodes", type=int, default=4,
@@ -291,7 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on warnings, not just errors")
     p.add_argument("--select", action="append", metavar="CODE", default=[],
-                   help="only report these diagnostic codes (repeatable)")
+                   help="only report these diagnostic codes (repeatable, "
+                        "e.g. --select P4401)")
+    p.add_argument("--ignore", action="append", metavar="CODE", default=[],
+                   help="drop these diagnostic codes from the report "
+                        "(repeatable; the complement of --select)")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("refine", help="show the refinement result")

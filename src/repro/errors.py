@@ -50,6 +50,25 @@ class RefinementError(ReproError):
     """The refinement engine cannot translate a (validated) protocol."""
 
 
+class CertificateError(RefinementError):
+    """The refined protocol failed its simulation certificate.
+
+    Raised by :func:`repro.refine.engine.refine` when the post-plan
+    analysis passes (transient-state sanity, the P44xx simulation
+    certificate of :mod:`repro.analysis.simulation`) report an
+    error-severity finding: some transition schema instance does not
+    commute with the section 4 abstraction function, so the asynchronous
+    protocol would not be a sound refinement of the rendezvous source.
+    ``diagnostics`` carries the structured
+    :class:`~repro.analysis.diagnostics.Diagnostic` records.
+    """
+
+    def __init__(self, message: str,
+                 diagnostics: tuple[object, ...] = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
 class CheckError(ReproError):
     """A model-checking run failed to produce a verdict (budget exceeded...)."""
 

@@ -62,7 +62,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..csp.ast import DATA, AnySender, SetSender, VarSender, VarTarget
+from ..csp.ast import DATA, AnySender, Protocol, SetSender, VarSender, VarTarget
 from ..csp.builder import ProcessBuilder, inp, out, protocol, tau
 from ..csp.validate import validate_protocol
 
@@ -73,7 +73,7 @@ INVALIDATE_MSGS = ("reqR", "reqW", "grR", "grW", "evS", "invS", "IA",
                    "inv", "ID", "LR")
 
 
-def invalidate_protocol(data_values: Optional[int] = None):
+def invalidate_protocol(data_values: Optional[int] = None) -> Protocol:
     """Build the invalidate rendezvous protocol.
 
     :param data_values: size of the finite data domain, or ``None`` for the

@@ -65,7 +65,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..csp.ast import DATA, AnySender, SetSender, VarSender, VarTarget
+from ..csp.ast import DATA, AnySender, Protocol, SetSender, VarSender, VarTarget
 from ..csp.builder import ProcessBuilder, inp, out, protocol, tau
 from ..csp.validate import validate_protocol
 
@@ -76,7 +76,7 @@ MESI_MSGS = ("reqR", "reqW", "grE", "grS", "grM", "evE", "LR", "down",
              "dnC", "dnD", "invX", "IC", "ID", "evS", "invS", "IA")
 
 
-def mesi_protocol(data_values: Optional[int] = None):
+def mesi_protocol(data_values: Optional[int] = None) -> Protocol:
     """Build the MESI rendezvous protocol.
 
     :param data_values: finite data domain size, or ``None`` for abstract

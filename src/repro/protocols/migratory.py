@@ -44,7 +44,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..csp.ast import DATA, AnySender, VarSender, VarTarget
+from ..csp.ast import DATA, AnySender, Protocol, VarSender, VarTarget
 from ..csp.builder import ProcessBuilder, inp, out, protocol, tau
 from ..csp.validate import validate_protocol
 
@@ -55,7 +55,7 @@ MIGRATORY_MSGS = ("req", "gr", "LR", "inv", "ID")
 
 
 def migratory_protocol(data_values: Optional[int] = None,
-                       explicit_rw: bool = False):
+                       explicit_rw: bool = False) -> Protocol:
     """Build the migratory rendezvous protocol.
 
     :param data_values: size of the finite data domain, or ``None`` for the

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..csp.ast import DATA, AnySender, SetSender, VarSender, VarTarget
+from ..csp.ast import DATA, AnySender, Protocol, SetSender, VarSender, VarTarget
 from ..csp.builder import ProcessBuilder, inp, out, protocol, tau
 from ..csp.validate import validate_protocol
 
@@ -44,7 +44,7 @@ MSI_MSGS = ("reqR", "reqW", "reqU", "grR", "grW", "grU", "upfail",
             "evS", "invS", "IA", "inv", "ID", "LR")
 
 
-def msi_protocol(data_values: Optional[int] = None):
+def msi_protocol(data_values: Optional[int] = None) -> Protocol:
     """Build the MSI-with-upgrade rendezvous protocol.
 
     :param data_values: finite data domain size, or ``None`` for abstract

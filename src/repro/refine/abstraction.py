@@ -34,7 +34,8 @@ validated by direct invariant/progress checking.
 
 from __future__ import annotations
 
-from ..csp.ast import Output
+from ..csp.ast import Output, ProcessDef
+from ..csp.env import Env
 from ..errors import ReproError
 from ..semantics.asynchronous import AsyncState, AsyncSystem, TRANS
 from ..semantics.network import ACK, NACK, NOTE, REPL, REQ, Channels, Msg
@@ -44,7 +45,31 @@ __all__ = ["AbstractionUndefined", "abstract_state"]
 
 
 class AbstractionUndefined(ReproError):
-    """``abs`` is not defined for this state (fire-and-forget in flight)."""
+    """``abs`` is not defined for this state.
+
+    ``reason`` is a stable machine-readable tag the certificate checker
+    dispatches on: the two ``note-*`` reasons are the *documented*
+    fire-and-forget carve-out (hand-designed protocols only), while
+    ``no-witness`` and ``no-reply-input`` indicate a transient state with
+    no abstract preimage — a broken refinement, never a legal state of a
+    paper-rule protocol.
+    """
+
+    REASON_NOTE_IN_FLIGHT = "note-in-flight"
+    REASON_NOTE_BUFFERED = "note-buffered"
+    REASON_NO_WITNESS = "no-witness"
+    REASON_NO_REPLY_INPUT = "no-reply-input"
+
+    def __init__(self, message: str,
+                 reason: str = REASON_NO_WITNESS) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+    @property
+    def is_note_carveout(self) -> bool:
+        """True for the documented fire-and-forget undefinedness."""
+        return self.reason in (self.REASON_NOTE_IN_FLIGHT,
+                               self.REASON_NOTE_BUFFERED)
 
 
 def abstract_state(system: AsyncSystem, state: AsyncState) -> RvState:
@@ -64,10 +89,12 @@ def _reject_notes(state: AsyncState) -> None:
         if msg.kind == NOTE:
             raise AbstractionUndefined(
                 "fire-and-forget message in flight; abs is only defined for "
-                "protocols refined by the paper's (acknowledged) rules")
+                "protocols refined by the paper's (acknowledged) rules",
+                reason=AbstractionUndefined.REASON_NOTE_IN_FLIGHT)
     if any(entry.note for entry in state.home.buffer):
         raise AbstractionUndefined(
-            "fire-and-forget message buffered at home; abs undefined")
+            "fire-and-forget message buffered at home; abs undefined",
+            reason=AbstractionUndefined.REASON_NOTE_BUFFERED)
 
 
 def _abstract_remote(system: AsyncSystem, state: AsyncState,
@@ -99,7 +126,8 @@ def _abstract_remote(system: AsyncSystem, state: AsyncState,
                          env=out_guard.apply_update(node.env))
     raise AbstractionUndefined(
         f"remote r{i} transient on {out_guard.msg!r} with no witness "
-        "message anywhere — semantics bug")
+        "message anywhere — semantics bug",
+        reason=AbstractionUndefined.REASON_NO_WITNESS)
 
 
 def _abstract_home(system: AsyncSystem, state: AsyncState) -> ProcState:
@@ -126,8 +154,9 @@ def _abstract_home(system: AsyncSystem, state: AsyncState) -> ProcState:
     return ProcState(state=home.state, env=home.env)
 
 
-def _forward_through_reply(system: AsyncSystem, env, out_guard: Output,
-                           repl: Msg, sender: int, process) -> ProcState:
+def _forward_through_reply(system: AsyncSystem, env: Env, out_guard: Output,
+                           repl: Msg, sender: int,
+                           process: ProcessDef) -> ProcState:
     """Fast-forward through a fused pair: request update, then reply input."""
     env = out_guard.apply_update(env)
     mid = process.state(out_guard.to)
@@ -137,7 +166,8 @@ def _forward_through_reply(system: AsyncSystem, env, out_guard: Output,
                              env=guard.complete(env, sender, repl.payload))
     raise AbstractionUndefined(
         f"no input guard in {mid.name!r} accepts the in-flight reply "
-        f"{repl.describe()}")
+        f"{repl.describe()}",
+        reason=AbstractionUndefined.REASON_NO_REPLY_INPUT)
 
 
 def _request_outstanding(system: AsyncSystem, state: AsyncState, i: int,

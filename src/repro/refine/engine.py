@@ -27,9 +27,9 @@ The engine performs all *static* work here:
 
 from __future__ import annotations
 
-from ..analysis.manager import analyze_protocol
+from ..analysis.manager import analyze_protocol, analyze_refined
 from ..csp.ast import Input, Protocol
-from ..errors import RefinementError, ValidationError
+from ..errors import CertificateError, RefinementError, ValidationError
 from .plan import FusedPair, RefinedProtocol, RefinementConfig, RefinementPlan
 from .reqreply import _reject_overlaps, check_pair, detect_fusable_pairs
 
@@ -78,7 +78,9 @@ def refine(protocol: Protocol,
     _check_fire_and_forget(protocol, config, fused)
 
     plan = RefinementPlan(config=config, fused=fused)
-    return RefinedProtocol(protocol=protocol, plan=plan)
+    refined = RefinedProtocol(protocol=protocol, plan=plan)
+    _gate_on_certificate(refined)
+    return refined
 
 
 def _gate_on_diagnostics(protocol: Protocol,
@@ -99,6 +101,24 @@ def _gate_on_diagnostics(protocol: Protocol,
         raise ValidationError(
             f"protocol {protocol.name!r} violates the paper's syntactic "
             f"restrictions:\n  - {detail}",
+            diagnostics=errors)
+
+
+def _gate_on_certificate(refined: RefinedProtocol) -> None:
+    """Refuse to emit a refined protocol that fails its own certificate.
+
+    Runs only the refined-machine passes (the rendezvous AST was already
+    vetted by :func:`_gate_on_diagnostics`): transient-state sanity and
+    the P44xx simulation certificate, which discharges the paper's
+    Equation 1 obligation for every transition schema instance.
+    """
+    report = analyze_refined(refined, include_protocol_passes=False)
+    errors = report.errors
+    if errors:
+        detail = "\n  - ".join(f"[{d.code}] {d.legacy_text}" for d in errors)
+        raise CertificateError(
+            f"refined protocol {refined.name!r} fails its simulation "
+            f"certificate:\n  - {detail}",
             diagnostics=errors)
 
 

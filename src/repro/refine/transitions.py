@@ -1,0 +1,188 @@
+"""Per-transition refinement metadata: the certificate the checker consumes.
+
+Tables 1 and 2 of the paper are *rule schemas*: for every output guard of
+the rendezvous AST the refinement introduces one transient state whose
+behaviour is fully determined by four pieces of control data — where a
+nack (or implicit nack) **rewinds** the sender to, where an ack
+**fast-forwards** it to, and, for a fused request (section 3.3), which
+reply message acknowledges it and which intermediate state must consume
+that reply.  :func:`build_step_table` materializes exactly that data, one
+:class:`TransitionSpec` per ``(role, state, output-index)``.
+
+The table is the single source of truth for the executable semantics:
+:class:`~repro.semantics.asynchronous.AsyncSystem` looks its control
+targets up here instead of re-deriving them from the AST, so the
+simulator, the model checker and the symbolic certificate checker of
+:mod:`repro.analysis.simulation` all run the *same* transition schema —
+there is nothing to drift.  The abstraction function of
+:mod:`repro.refine.abstraction` deliberately does **not** read the table:
+it stays AST/plan-driven ground truth, which is what lets the certificate
+checker catch a corrupted table (a wrong rewind target makes the executed
+step disagree with ``abs`` and fail its commutation obligation).
+
+``StepTable.mutate`` is the sanctioned mutation hook the differential
+test harness uses to seed faults (corrupt a rewind target, drop an ack by
+pretending a pair fused) that both the symbolic checker and the
+explicit-state explorer must detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterator, Optional
+
+from ..errors import RefinementError, SemanticsError
+from .plan import RefinedProtocol
+
+__all__ = [
+    "HOME",
+    "KIND_NOTE",
+    "KIND_REPLY",
+    "KIND_REQUEST",
+    "REMOTE",
+    "StepTable",
+    "TransitionSpec",
+    "build_step_table",
+]
+
+#: Role markers (which process template owns the output guard).
+HOME = "home"
+REMOTE = "remote"
+
+#: A request for rendezvous: gets the full transient-state machinery.
+KIND_REQUEST = "request"
+#: A fused reply (section 3.3): emitted without a handshake of its own.
+KIND_REPLY = "reply"
+#: A fire-and-forget notification: sent and forgotten, no transient.
+KIND_NOTE = "note"
+
+
+@dataclass(frozen=True)
+class TransitionSpec:
+    """Control data of one refined output guard (one Tables 1/2 row set).
+
+    ``rewind_to`` is the communication state a nack / implicit nack
+    returns the sender to (rule schema: the state the request was sent
+    from), ``forward_to`` the state an ack fast-forwards it to (the
+    guard's target state).  For a fused request, ``fused_reply`` names
+    the reply message type that doubles as the ack and ``reply_to`` the
+    intermediate state whose input guard consumes it; both are ``None``
+    otherwise.
+    """
+
+    role: str
+    state: str
+    out_index: int
+    msg: str
+    kind: str
+    rewind_to: str
+    forward_to: str
+    fused_reply: Optional[str] = None
+    reply_to: Optional[str] = None
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.role, self.state, self.out_index)
+
+    def describe(self) -> str:
+        base = (f"{self.role}.{self.state}[{self.out_index}] !{self.msg} "
+                f"({self.kind}): nack→{self.rewind_to} ack→{self.forward_to}")
+        if self.fused_reply is not None:
+            base += f" reply {self.fused_reply}@{self.reply_to}"
+        return base
+
+
+class StepTable:
+    """All :class:`TransitionSpec` rows of one refined protocol, indexed."""
+
+    def __init__(self, specs: tuple[TransitionSpec, ...]) -> None:
+        self.specs = tuple(specs)
+        self._index: dict[tuple[str, str, int], TransitionSpec] = {}
+        for spec in self.specs:
+            if spec.key in self._index:
+                raise RefinementError(
+                    f"duplicate transition spec for {spec.key!r}")
+            self._index[spec.key] = spec
+
+    def __iter__(self) -> Iterator[TransitionSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def spec(self, role: str, state: str, out_index: int) -> TransitionSpec:
+        try:
+            return self._index[(role, state, out_index)]
+        except KeyError:
+            raise SemanticsError(
+                f"no transition spec for {role}.{state}[{out_index}]; the "
+                "step table does not cover this output guard") from None
+
+    def get(self, role: str, state: str,
+            out_index: int) -> Optional[TransitionSpec]:
+        return self._index.get((role, state, out_index))
+
+    # -- derived lookups (what AsyncSystem consults) -------------------------
+
+    def fused_requests(self, role: str) -> frozenset[str]:
+        """Request message types of ``role`` that a reply acknowledges."""
+        return frozenset(s.msg for s in self.specs
+                         if s.role == role and s.kind == KIND_REQUEST
+                         and s.fused_reply is not None)
+
+    @property
+    def reply_of(self) -> dict[str, str]:
+        """Fused request message type -> its reply message type."""
+        return {s.msg: s.fused_reply for s in self.specs
+                if s.fused_reply is not None}
+
+    @property
+    def reply_msgs(self) -> frozenset[str]:
+        return frozenset(s.msg for s in self.specs if s.kind == KIND_REPLY)
+
+    @property
+    def notes(self) -> frozenset[str]:
+        """Fire-and-forget message types (sent without a handshake)."""
+        return frozenset(s.msg for s in self.specs if s.kind == KIND_NOTE)
+
+    # -- mutation hook (differential testing) --------------------------------
+
+    def mutate(self, role: str, state: str, out_index: int,
+               **changes: Any) -> "StepTable":
+        """A copy of the table with one spec's fields replaced.
+
+        This is the fault-injection hook of the differential harness:
+        corrupting ``rewind_to``/``forward_to`` or fabricating a
+        ``fused_reply`` yields a mutant semantics that the certificate
+        checker must flag and explicit-state exploration must confirm.
+        """
+        target = self.spec(role, state, out_index)
+        mutated = replace(target, **changes)
+        return StepTable(tuple(mutated if s.key == target.key else s
+                               for s in self.specs))
+
+
+def build_step_table(refined: RefinedProtocol) -> StepTable:
+    """Derive the Tables 1/2 control data for every output guard."""
+    plan = refined.plan
+    protocol = refined.protocol
+    specs: list[TransitionSpec] = []
+    for role, process in ((HOME, protocol.home), (REMOTE, protocol.remote)):
+        for state in process.states.values():
+            for idx, guard in enumerate(state.outputs):
+                if guard.msg in plan.fire_and_forget:
+                    kind, reply = KIND_NOTE, None
+                elif guard.msg in plan.reply_msgs:
+                    kind, reply = KIND_REPLY, None
+                elif plan.is_fused_request(guard.msg,
+                                           sender_is_home=(role == HOME)):
+                    kind, reply = KIND_REQUEST, plan.reply_of[guard.msg]
+                else:
+                    kind, reply = KIND_REQUEST, None
+                specs.append(TransitionSpec(
+                    role=role, state=state.name, out_index=idx,
+                    msg=guard.msg, kind=kind,
+                    rewind_to=state.name, forward_to=guard.to,
+                    fused_reply=reply,
+                    reply_to=guard.to if reply is not None else None))
+    return StepTable(tuple(specs))

@@ -54,6 +54,15 @@ from ..csp.ast import Input, Output, ProcessDef, Protocol, StateDef
 from ..csp.env import Env, Value
 from ..errors import SemanticsError
 from ..refine.plan import RefinedProtocol
+from ..refine.transitions import (
+    HOME as HOME_ROLE,
+    KIND_NOTE,
+    KIND_REPLY,
+    REMOTE as REMOTE_ROLE,
+    StepTable,
+    TransitionSpec,
+    build_step_table,
+)
 from .network import ACK, NACK, NOTE, REPL, REQ, Channels, Msg
 from .rendezvous import RendezvousStep
 from .state import HOME_ID, ProcId
@@ -269,7 +278,8 @@ class Step:
 class AsyncSystem:
     """Executable asynchronous semantics for a refined protocol."""
 
-    def __init__(self, refined: RefinedProtocol, n_remotes: int) -> None:
+    def __init__(self, refined: RefinedProtocol, n_remotes: int, *,
+                 table: Optional[StepTable] = None) -> None:
         if n_remotes < 1:
             raise SemanticsError("need at least one remote node")
         self.refined = refined
@@ -277,7 +287,17 @@ class AsyncSystem:
         self.plan = refined.plan
         self.n_remotes = n_remotes
         self.capacity = self.plan.config.home_buffer_capacity
-        self._reply_of = dict(self.plan.reply_of)
+        # The Tables 1/2 control data (rewind/fast-forward/reply targets,
+        # request kinds) comes from the step table, the same record the
+        # certificate checker verifies — one transition schema, no drift.
+        # Passing a mutated table injects faults for differential testing.
+        self.table: StepTable = (table if table is not None
+                                 else build_step_table(refined))
+        self._reply_of = self.table.reply_of
+        self._reply_msgs = self.table.reply_msgs
+        self._notes = self.table.notes
+        self._remote_fused = self.table.fused_requests(REMOTE_ROLE)
+        self._home_fused = self.table.fused_requests(HOME_ROLE)
 
     # -- construction --------------------------------------------------------
 
@@ -344,16 +364,18 @@ class AsyncSystem:
                 f"home received {msg.describe()} from r{i} but is not "
                 f"awaiting it (state {home.describe()})")
         out_guard = self._home_pending_output(home)
+        spec = self._home_pending_spec(home)
 
         if msg.kind == NACK:  # row T2
             new_home = replace(
-                home, mode=IDLE, awaiting=None, pending_out=None,
+                home, state=spec.rewind_to, mode=IDLE, awaiting=None,
+                pending_out=None,
                 out_idx=self._next_out_idx(self.protocol.home, home))
             return Step(action=action, state=base.with_home(new_home))
 
         if msg.kind == ACK:  # row T1
             env = out_guard.apply_update(home.env)
-            new_home = HomeNode(state=out_guard.to, env=env, mode=IDLE,
+            new_home = HomeNode(state=spec.forward_to, env=env, mode=IDLE,
                                 out_idx=0, buffer=home.buffer)
             completes = (RendezvousStep(active=HOME_ID, passive=i,
                                         msg=out_guard.msg,
@@ -362,14 +384,15 @@ class AsyncSystem:
                         completes=completes)
 
         if msg.kind == REPL:  # fused reply: completes request + reply
-            reply_msg = self._reply_of.get(out_guard.msg)
+            reply_msg = spec.fused_reply
             if reply_msg is None or msg.msg != reply_msg:
                 raise SemanticsError(
                     f"home got unexpected reply {msg.describe()} while "
                     f"awaiting the reply to {out_guard.msg!r}")
+            assert spec.reply_to is not None
             request_payload = out_guard.eval_payload(home.env)
             env = out_guard.apply_update(home.env)
-            mid_state = self.protocol.home.state(out_guard.to)
+            mid_state = self.protocol.home.state(spec.reply_to)
             in_guard = self._find_input(mid_state, reply_msg, env, i,
                                         msg.payload, "home")
             env = in_guard.complete(env, i, msg.payload)
@@ -396,8 +419,10 @@ class AsyncSystem:
         if home.mode == TRANS and home.awaiting == i:
             # Row T3: implicit nack.  The request takes the reserved
             # ack-buffer slot and the home re-enters its communication state.
+            spec = self._home_pending_spec(home)
             new_home = replace(
-                home, mode=IDLE, awaiting=None, pending_out=None,
+                home, state=spec.rewind_to, mode=IDLE, awaiting=None,
+                pending_out=None,
                 out_idx=self._next_out_idx(self.protocol.home, home))
             if self._free_slots(home) >= 1:
                 new_home = replace(new_home, buffer=new_home.buffer + (entry,))
@@ -464,7 +489,7 @@ class AsyncSystem:
                 completes = (RendezvousStep(active=entry.sender,
                                             passive=HOME_ID, msg=entry.msg,
                                             payload=entry.payload),)
-            elif entry.msg in self.plan.remote_fused_requests:
+            elif entry.msg in self._remote_fused:
                 # fused: no ack; the eventual reply acknowledges it.  The
                 # completion is reported when the requester gets the reply.
                 pass
@@ -494,9 +519,10 @@ class AsyncSystem:
             if not 0 <= target < self.n_remotes:
                 raise SemanticsError(
                     f"home output {guard.describe()} targets r{target}")
-            if guard.msg in self.plan.reply_msgs:
+            spec = self.table.spec(HOME_ROLE, home.state, idx)
+            if spec.kind == KIND_REPLY:
                 return self._home_reply(state, guard, idx, target)
-            if guard.msg in self.plan.fire_and_forget:
+            if spec.kind == KIND_NOTE:
                 raise SemanticsError(
                     "fire-and-forget home outputs are not supported")
             # condition (c): pointless to request a remote that is itself
@@ -589,6 +615,7 @@ class AsyncSystem:
             raise SemanticsError(
                 f"remote r{i} received {msg.describe()} while not transient")
         out_guard = self._remote_pending_output(node)
+        spec = self._remote_pending_spec(node)
 
         if msg.kind == NACK:  # row T2: retransmit immediately
             req_kind = REQ
@@ -600,7 +627,7 @@ class AsyncSystem:
 
         if msg.kind == ACK:  # row T1
             env = out_guard.apply_update(node.env)
-            new_node = RemoteNode(state=out_guard.to, env=env, mode=IDLE)
+            new_node = RemoteNode(state=spec.forward_to, env=env, mode=IDLE)
             completes = (RendezvousStep(active=i, passive=HOME_ID,
                                         msg=out_guard.msg,
                                         payload=out_guard.eval_payload(node.env)),)
@@ -608,14 +635,15 @@ class AsyncSystem:
                         completes=completes)
 
         if msg.kind == REPL:
-            reply_msg = self._reply_of.get(out_guard.msg)
+            reply_msg = spec.fused_reply
             if reply_msg is None or msg.msg != reply_msg:
                 raise SemanticsError(
                     f"remote r{i} got unexpected reply {msg.describe()} "
                     f"while awaiting the reply to {out_guard.msg!r}")
+            assert spec.reply_to is not None
             request_payload = out_guard.eval_payload(node.env)
             env = out_guard.apply_update(node.env)
-            mid_state = self.protocol.remote.state(out_guard.to)
+            mid_state = self.protocol.remote.state(spec.reply_to)
             in_guard = self._find_input(mid_state, reply_msg, env, -1,
                                         msg.payload, f"remote r{i}")
             env = in_guard.complete(env, -1, msg.payload)
@@ -657,10 +685,11 @@ class AsyncSystem:
         """Rows C1/C2 of Table 1 (plus the fire-and-forget extension)."""
         node = state.remotes[i]
         payload = guard.eval_payload(node.env)
-        if guard.msg in self.plan.fire_and_forget:
+        spec = self.table.spec(REMOTE_ROLE, node.state, 0)
+        if spec.kind == KIND_NOTE:
             note = Msg(kind=NOTE, msg=guard.msg, payload=payload)
             channels = state.channels.send_to_home(i, note)
-            new_node = RemoteNode(state=guard.to,
+            new_node = RemoteNode(state=spec.forward_to,
                                   env=guard.apply_update(node.env),
                                   mode=IDLE, buf=node.buf)
             return Step(action=RemoteSend(remote=i),
@@ -695,7 +724,7 @@ class AsyncSystem:
                         sends=(nack,))
 
         env = guard.complete(node.env, -1, entry.payload)
-        if entry.msg in self.plan.home_fused_requests:
+        if entry.msg in self._home_fused:
             # responder side of a home-initiated fused pair: perform local
             # actions only, then answer with the reply (which also serves
             # as the ack of the request).
@@ -786,6 +815,16 @@ class AsyncSystem:
         if node.pending_out is None:
             raise SemanticsError("remote has no pending output in TRANS mode")
         return self.protocol.remote.state(node.state).outputs[node.pending_out]
+
+    def _home_pending_spec(self, home: HomeNode) -> TransitionSpec:
+        if home.pending_out is None:
+            raise SemanticsError("home has no pending output in TRANS mode")
+        return self.table.spec(HOME_ROLE, home.state, home.pending_out)
+
+    def _remote_pending_spec(self, node: RemoteNode) -> TransitionSpec:
+        if node.pending_out is None:
+            raise SemanticsError("remote has no pending output in TRANS mode")
+        return self.table.spec(REMOTE_ROLE, node.state, node.pending_out)
 
     def _next_out_idx(self, process: ProcessDef, home: HomeNode) -> int:
         outputs = process.state(home.state).outputs

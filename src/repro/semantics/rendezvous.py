@@ -48,12 +48,18 @@ class RendezvousStep:
     ``active`` executed the Output guard, ``passive`` the Input guard
     (paper section 2.3 terminology).  One of the two is always the home
     node; ``remote`` is the remote party's index whichever side it is on.
+    ``out_index`` pins *which* of the active side's output guards fired:
+    two guards may carry the same (msg, target, payload) yet continue to
+    different states, and the refined semantics can take either (the T2
+    rule cycles through output guards on nack), so the rendezvous level
+    must offer both as distinct steps.
     """
 
     active: ProcId
     passive: ProcId
     msg: str
     payload: Value = None
+    out_index: int = 0
 
     @property
     def remote(self) -> int:
@@ -111,7 +117,7 @@ class RendezvousSystem:
 
     def _home_active_rendezvous(self, state: RvState) -> Iterator[RendezvousStep]:
         home_def = self.protocol.home.state(state.home.state)
-        for guard in home_def.outputs:
+        for idx, guard in enumerate(home_def.outputs):
             if not guard.enabled(state.home.env):
                 continue
             assert guard.target is not None
@@ -127,13 +133,15 @@ class RendezvousSystem:
                 if r_guard.msg == guard.msg and r_guard.accepts(
                         remote.env, -1, payload):
                     yield RendezvousStep(active=HOME_ID, passive=target,
-                                         msg=guard.msg, payload=payload)
+                                         msg=guard.msg, payload=payload,
+                                         out_index=idx)
                     break  # one matching input is one rendezvous offer
 
     def _remote_active_rendezvous(self, state: RvState) -> Iterator[RendezvousStep]:
         home_def = self.protocol.home.state(state.home.state)
         for i, proc in enumerate(state.remotes):
-            for guard in self.protocol.remote.state(proc.state).outputs:
+            for idx, guard in enumerate(
+                    self.protocol.remote.state(proc.state).outputs):
                 if not guard.enabled(proc.env):
                     continue
                 payload = guard.eval_payload(proc.env)
@@ -141,7 +149,8 @@ class RendezvousSystem:
                     if h_guard.msg == guard.msg and h_guard.accepts(
                             state.home.env, i, payload):
                         yield RendezvousStep(active=i, passive=HOME_ID,
-                                             msg=guard.msg, payload=payload)
+                                             msg=guard.msg, payload=payload,
+                                             out_index=idx)
                         break
 
     # -- transition application ----------------------------------------------
@@ -182,8 +191,14 @@ class RendezvousSystem:
         remote_idx = action.passive
         assert isinstance(remote_idx, int)
         home_def = self.protocol.home.state(state.home.state)
-        out_guard = self._matching_output(
-            home_def.outputs, state, action, target=remote_idx)
+        out_guard = self._output_at(
+            home_def.outputs, state.home.env, action,
+            f"home state {state.home.state!r}")
+        assert out_guard.target is not None
+        if out_guard.target.eval(state.home.env) != remote_idx:
+            raise SemanticsError(
+                f"home output {out_guard.describe()} does not target "
+                f"r{remote_idx}")
         remote = state.remotes[remote_idx]
         in_guard = self._matching_input(
             self.protocol.remote.state(remote.state).inputs,
@@ -198,17 +213,9 @@ class RendezvousSystem:
         remote_idx = action.active
         assert isinstance(remote_idx, int)
         remote = state.remotes[remote_idx]
-        out_guard = None
-        for guard in self.protocol.remote.state(remote.state).outputs:
-            if (guard.msg == action.msg and guard.enabled(remote.env)
-                    and guard.eval_payload(remote.env) == action.payload):
-                out_guard = guard
-                break
-        if out_guard is None:
-            raise SemanticsError(
-                f"remote r{remote_idx} cannot send {action.msg!r} "
-                f"from state {remote.state!r}"
-            )
+        out_guard = self._output_at(
+            self.protocol.remote.state(remote.state).outputs, remote.env,
+            action, f"remote r{remote_idx} state {remote.state!r}")
         in_guard = self._matching_input(
             self.protocol.home.state(state.home.state).inputs,
             state.home.env, action.msg, remote_idx, action.payload)
@@ -219,19 +226,25 @@ class RendezvousSystem:
             in_guard.complete(state.home.env, remote_idx, action.payload))
         return state.with_home(new_home).with_remote(remote_idx, new_remote)
 
-    def _matching_output(self, outputs: Iterable[Output], state: RvState,
-                         action: RendezvousStep, target: int) -> Output:
-        for guard in outputs:
-            if guard.msg != action.msg or not guard.enabled(state.home.env):
-                continue
-            assert guard.target is not None
-            if (guard.target.eval(state.home.env) == target
-                    and guard.eval_payload(state.home.env) == action.payload):
-                return guard
-        raise SemanticsError(
-            f"home cannot send {action.msg!r} to r{target} "
-            f"from state {state.home.state!r}"
-        )
+    @staticmethod
+    def _output_at(outputs: tuple[Output, ...], env, action: RendezvousStep,
+                   where: str) -> Output:
+        """The output guard ``action.out_index`` names, verified enabled.
+
+        Resolving by index (not by first (msg, payload) match) is what
+        keeps two same-message output guards distinct — the refined
+        semantics can take either, so the rendezvous level must too.
+        """
+        if not 0 <= action.out_index < len(outputs):
+            raise SemanticsError(
+                f"{where} has no output guard #{action.out_index}")
+        guard = outputs[action.out_index]
+        if (guard.msg != action.msg or not guard.enabled(env)
+                or guard.eval_payload(env) != action.payload):
+            raise SemanticsError(
+                f"{where}: output guard #{action.out_index} does not offer "
+                f"{action.msg!r} with payload {action.payload!r}")
+        return guard
 
     @staticmethod
     def _matching_input(inputs: Iterable[Input], env, msg: str, sender: int,

@@ -1,0 +1,121 @@
+"""Differential testing: symbolic certificate vs explicit-state explorer.
+
+The certificate checker discharges commutation obligations over symbolic
+two-node closures; :func:`repro.check.simulation.check_simulation`
+checks the same Equation 1 by brute force over the asynchronous
+reachable set.  On random protocols — and on random *mutants* of their
+step tables — the two must agree:
+
+* a clean certificate implies the explorer finds no simulation failure
+  (the closure over all rendezvous contexts covers every edge the
+  explorer can reach from the initial one);
+* any mutant the explorer convicts must already have been flagged by
+  the certificate (no false negatives), since a wrong verdict here is
+  exactly the "silently unsound refinement" failure mode the P44xx
+  family exists to prevent.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro import AsyncSystem, refine
+from repro.analysis.diagnostics import Severity
+from repro.analysis.simulation import check_certificate
+from repro.check.simulation import check_simulation
+from repro.errors import ReproError
+from repro.gen import GeneratorParams, random_protocol
+from repro.refine.transitions import build_step_table
+
+SMALL = GeneratorParams(n_remote_states=3, n_home_states=3,
+                        n_remote_msgs=2, n_home_msgs=2)
+
+lenient = settings(max_examples=20, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow,
+                                          HealthCheck.data_too_large,
+                                          HealthCheck.filter_too_much])
+
+
+@st.composite
+def protocols(draw):
+    seed = draw(st.integers(0, 10_000))
+    return random_protocol(seed, SMALL)
+
+
+def has_errors(report) -> bool:
+    return any(d.severity >= Severity.ERROR for d in report.diagnostics)
+
+
+def explorer_convicts(refined, table) -> bool:
+    """Explicit-state verdict on a (possibly mutant) step table.
+
+    A raised semantics/abstraction error is as much a conviction as a
+    failed simulation edge — the mutant broke the refinement either way.
+    """
+    try:
+        sim = check_simulation(AsyncSystem(refined, 2, table=table),
+                               max_states=4000, max_seconds=5)
+    except ReproError:
+        return True
+    assume(sim.exploration.completed)
+    return not sim.ok
+
+
+class TestAgreementOnSoundRefinements:
+    @lenient
+    @given(protocols())
+    def test_clean_certificate_implies_clean_exploration(self, protocol):
+        refined = refine(protocol)  # the gate itself re-checks this
+        report = check_certificate(refined)
+        assume(report.complete)
+        assert report.ok, report.describe()
+        assert not explorer_convicts(refined, build_step_table(refined))
+
+
+class TestAgreementOnMutants:
+    @lenient
+    @given(protocols(), st.data())
+    def test_explorer_convictions_are_certificate_errors(self, protocol,
+                                                         data):
+        """Corrupt one control target at random; if the explorer can tell,
+        the certificate must have said so first."""
+        refined = refine(protocol)
+        table = build_step_table(refined)
+        specs = list(table)
+        spec = specs[data.draw(st.integers(0, len(specs) - 1),
+                               label="row")]
+        process = (refined.protocol.home if spec.role == "home"
+                   else refined.protocol.remote)
+        target = data.draw(st.sampled_from(sorted(process.states)),
+                           label="target")
+        field = data.draw(st.sampled_from(["rewind_to", "forward_to"]),
+                          label="field")
+        assume(getattr(spec, field) != target)
+        mutant = table.mutate(spec.role, spec.state, spec.out_index,
+                              **{field: target})
+
+        report = check_certificate(refined, table=mutant)
+        assume(report.complete)
+        if explorer_convicts(refined, mutant):
+            assert has_errors(report), (
+                f"explorer convicts mutant {field}={target!r} on "
+                f"{spec.describe()} but certificate is clean")
+
+    @lenient
+    @given(protocols(), st.data())
+    def test_certificate_always_flags_the_static_mismatch(self, protocol,
+                                                          data):
+        """Whatever the dynamic outcome, a corrupted table always
+        disagrees with the AST-derived one — P4404 is unconditional."""
+        refined = refine(protocol)
+        table = build_step_table(refined)
+        specs = list(table)
+        spec = specs[data.draw(st.integers(0, len(specs) - 1),
+                               label="row")]
+        process = (refined.protocol.home if spec.role == "home"
+                   else refined.protocol.remote)
+        target = data.draw(st.sampled_from(sorted(process.states)),
+                           label="target")
+        assume(spec.rewind_to != target)
+        mutant = table.mutate(spec.role, spec.state, spec.out_index,
+                              rewind_to=target)
+        report = check_certificate(refined, table=mutant)
+        assert any(d.code == "P4404" for d in report.diagnostics)

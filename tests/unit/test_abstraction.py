@@ -99,25 +99,106 @@ class TestRule2AcksFastForward:
         assert abs_state.home.state == "E"
 
 
+def drive_to_note_in_flight(system):
+    """Drive r0 into V, then evict: the LR is sent fire-and-forget."""
+    state = system.initial_state()
+    for predicate in (
+        lambda s: isinstance(s.action, RemoteSend),
+        lambda s: isinstance(s.action, DeliverToHome),
+        lambda s: isinstance(s.action, HomeStep) and s.action.kind == "C1",
+        lambda s: isinstance(s.action, HomeStep) and s.action.kind == "REPLY",
+        lambda s: s.action.describe().endswith("deliver h→r0"),
+        lambda s: s.action.describe() == "r0.τ:evict",
+        lambda s: isinstance(s.action, RemoteSend),
+    ):
+        state = find_step(system, state, predicate).state
+    return state
+
+
 class TestFireAndForgetUndefined:
     def test_note_in_flight_raises(self):
-        refined = handwritten_migratory()
-        system = AsyncSystem(refined, 1)
+        system = AsyncSystem(handwritten_migratory(), 1)
+        state = drive_to_note_in_flight(system)
+        assert any(m.kind == "NOTE" for _i, _d, m in state.channels.in_flight())
+        with pytest.raises(AbstractionUndefined):
+            abstract_state(system, state)
+
+    def test_note_in_flight_reason_is_the_carve_out(self):
+        """The certificate checker dispatches on the reason tag: the
+        fire-and-forget undefinedness is documented, not a bug."""
+        system = AsyncSystem(handwritten_migratory(), 1)
+        state = drive_to_note_in_flight(system)
+        with pytest.raises(AbstractionUndefined) as excinfo:
+            abstract_state(system, state)
+        assert excinfo.value.reason == \
+            AbstractionUndefined.REASON_NOTE_IN_FLIGHT
+        assert excinfo.value.is_note_carveout
+
+    def test_note_buffered_reason_is_the_carve_out(self):
+        system = AsyncSystem(handwritten_migratory(), 1)
+        state = drive_to_note_in_flight(system)
+        state = find_step(system, state,
+                          lambda s: isinstance(s.action, DeliverToHome)).state
+        assert any(e.note for e in state.home.buffer)
+        with pytest.raises(AbstractionUndefined) as excinfo:
+            abstract_state(system, state)
+        assert excinfo.value.reason == \
+            AbstractionUndefined.REASON_NOTE_BUFFERED
+        assert excinfo.value.is_note_carveout
+
+    def test_bug_reasons_are_not_the_carve_out(self):
+        for reason in (AbstractionUndefined.REASON_NO_WITNESS,
+                       AbstractionUndefined.REASON_NO_REPLY_INPUT):
+            assert not AbstractionUndefined("x", reason=reason).is_note_carveout
+
+    def test_default_reason_is_no_witness(self):
+        assert AbstractionUndefined("x").reason == \
+            AbstractionUndefined.REASON_NO_WITNESS
+
+
+class TestHalfForwardedEnv:
+    def test_half_forward_applies_the_request_update(self, migratory_refined):
+        """The half-forwarded requester must carry the *post-request* env
+        (the request's update committed with the rendezvous), or fused
+        states with env updates would abstract to unreachable contexts."""
+        from repro.refine.transitions import REMOTE, build_step_table
+        system = AsyncSystem(migratory_refined, 1)
         state = system.initial_state()
-        # drive r0 into V, then evict: the LR is sent fire-and-forget
         for predicate in (
             lambda s: isinstance(s.action, RemoteSend),
             lambda s: isinstance(s.action, DeliverToHome),
             lambda s: isinstance(s.action, HomeStep) and s.action.kind == "C1",
-            lambda s: isinstance(s.action, HomeStep) and s.action.kind == "REPLY",
-            lambda s: s.action.describe().endswith("deliver h→r0"),
-            lambda s: s.action.describe() == "r0.τ:evict",
-            lambda s: isinstance(s.action, RemoteSend),
         ):
             state = find_step(system, state, predicate).state
-        assert any(m.kind == "NOTE" for _i, _d, m in state.channels.in_flight())
-        with pytest.raises(AbstractionUndefined):
-            abstract_state(system, state)
+        # concrete r0 is still transient at I (half-forwarded posture)
+        assert state.remotes[0].state == "I"
+        spec = build_step_table(migratory_refined).spec(REMOTE, "I", 0)
+        abs_state = abstract_state(system, state)
+        assert abs_state.remotes[0].state == spec.reply_to
+
+    def test_no_witness_is_a_semantics_bug_not_a_carve_out(
+            self, migratory_refined):
+        """Erase the fused pair from the plan: the consumed-but-unreplied
+        requester then has no abstract preimage, and the reason tag must
+        say 'bug', not 'carve-out'."""
+        from repro.refine.plan import RefinedProtocol, RefinementPlan
+        stripped = RefinedProtocol(
+            protocol=migratory_refined.protocol,
+            plan=RefinementPlan(config=migratory_refined.plan.config,
+                                fused=()))
+        system = AsyncSystem(migratory_refined, 1)
+        state = system.initial_state()
+        for predicate in (
+            lambda s: isinstance(s.action, RemoteSend),
+            lambda s: isinstance(s.action, DeliverToHome),
+            lambda s: isinstance(s.action, HomeStep) and s.action.kind == "C1",
+        ):
+            state = find_step(system, state, predicate).state
+        with pytest.raises(AbstractionUndefined) as excinfo:
+            abstract_state(AsyncSystem(stripped, 1), state)
+        assert excinfo.value.reason == \
+            AbstractionUndefined.REASON_NO_WITNESS
+        assert not excinfo.value.is_note_carveout
 
 
 class TestAbstractionTotality:

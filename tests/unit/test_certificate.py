@@ -1,0 +1,197 @@
+"""The symbolic simulation-obligation checker (analysis.simulation).
+
+Three layers of evidence:
+
+* every shipped protocol's refinement earns a clean certificate (zero
+  P44xx errors), which is also what gates ``refine()``;
+* seeded step-table mutants — a corrupted ack fast-forward target, a
+  fabricated fused reply ("dropping" the ack handshake), a corrupted
+  home rewind target — are flagged with the intended P44xx codes **and**
+  confirmed independently by explicit-state exploration of the same
+  mutant semantics (the differential harness in miniature);
+* the report structure itself: obligation accounting, truncation
+  behaviour, the fire-and-forget carve-out.
+"""
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.simulation import CertificateReport, check_certificate
+from repro.errors import CertificateError, RefinementError
+from repro.protocols.handwritten import handwritten_migratory
+from repro.protocols.invalidate import invalidate_protocol
+from repro.protocols.mesi import mesi_protocol
+from repro.protocols.migratory import migratory_protocol
+from repro.protocols.msi import msi_protocol
+from repro.refine.abstraction import AbstractionUndefined
+from repro.refine.engine import _gate_on_certificate, refine
+from repro.refine.plan import (
+    RefinedProtocol,
+    RefinementConfig,
+    RefinementPlan,
+)
+from repro.refine.transitions import REMOTE, build_step_table
+from repro.semantics.asynchronous import AsyncSystem
+
+
+def error_codes(report: CertificateReport) -> set[str]:
+    return {d.code for d in report.diagnostics
+            if d.severity >= Severity.ERROR}
+
+
+@pytest.fixture(scope="module")
+def migratory_refined():
+    return refine(migratory_protocol())
+
+
+@pytest.fixture(scope="module")
+def migratory_table(migratory_refined):
+    return build_step_table(migratory_refined)
+
+
+class TestShippedProtocols:
+    @pytest.mark.parametrize("factory", [
+        migratory_protocol, invalidate_protocol, msi_protocol, mesi_protocol,
+    ])
+    def test_clean_certificate(self, factory):
+        report = check_certificate(refine(factory()))
+        assert report.complete
+        assert report.ok, report.describe()
+        assert not error_codes(report)
+
+    def test_handwritten_uses_the_carve_out(self):
+        """The hand-tuned protocol's fire-and-forget notes are carved, not
+        errors — the carve-out is load-bearing, not decorative."""
+        report = check_certificate(handwritten_migratory())
+        assert report.ok, report.describe()
+        assert report.n_carved > 0
+
+    def test_fused_pairs_need_multi_step_obligations(self):
+        """A home-initiated fused response jumps two rendezvous in one
+        asynchronous step; the checker must discharge it as a bounded
+        multi-hop mapping, not reject it."""
+        report = check_certificate(refine(msi_protocol()))
+        assert report.n_mapped_deep > 0
+
+    def test_accounting_adds_up(self, migratory_refined):
+        report = check_certificate(migratory_refined)
+        assert report.n_obligations == (report.n_stutters + report.n_mapped
+                                        + report.n_mapped_deep
+                                        + report.n_carved)
+        assert report.n_contexts > 0
+        assert report.closure_states > report.n_contexts
+        # competition between the two remotes must actually occur, or the
+        # T3-T6 buffering/nacking rows were never exercised
+        assert report.n_interference > 0
+
+    def test_report_rendering(self, migratory_refined):
+        report = check_certificate(migratory_refined)
+        assert "obligations" in report.inventory()
+        assert report.subject == migratory_refined.name
+        assert "CERTIFICATE HOLDS" in report.describe()
+
+
+class TestSeededMutants:
+    """Each mutant must be flagged by the symbolic checker AND confirmed
+    by explicit-state exploration of the same mutant table."""
+
+    def test_corrupt_ack_forward_target(self, migratory_refined,
+                                        migratory_table):
+        mutant = migratory_table.mutate(REMOTE, "V.lr", 0,
+                                        forward_to="V.id")
+        report = check_certificate(migratory_refined, table=mutant)
+        assert not report.ok
+        assert error_codes(report) == {"P4401", "P4404"}
+
+        from repro.check.simulation import check_simulation
+        sim = check_simulation(AsyncSystem(migratory_refined, 2,
+                                           table=mutant),
+                               max_states=20_000)
+        assert not sim.ok, "explorer must confirm the symbolic verdict"
+        assert sim.failures
+
+    def test_fabricated_fused_reply_drops_the_ack(self, migratory_refined,
+                                                  migratory_table):
+        """Pretending LR is fused to gr removes its ack handshake; the
+        transient requester then has no witness message anywhere."""
+        mutant = migratory_table.mutate(REMOTE, "V.lr", 0,
+                                        fused_reply="gr", reply_to="V.id")
+        report = check_certificate(migratory_refined, table=mutant)
+        assert not report.ok
+        assert error_codes(report) == {"P4403", "P4404"}
+
+        from repro.check.simulation import check_simulation
+        with pytest.raises(AbstractionUndefined):
+            check_simulation(AsyncSystem(migratory_refined, 2, table=mutant),
+                             max_states=20_000)
+
+    def test_corrupt_home_rewind_target(self, migratory_refined,
+                                        migratory_table):
+        """The implicit-nack rewind row only fires when home's request
+        races a remote's — a flow involving both remotes, which the
+        two-node closure must still reach."""
+        mutant = migratory_table.mutate("home", "I1", 0, rewind_to="F1")
+        report = check_certificate(migratory_refined, table=mutant)
+        assert not report.ok
+        assert error_codes(report) == {"P4401", "P4404"}
+
+        from repro.check.simulation import check_simulation
+        sim = check_simulation(AsyncSystem(migratory_refined, 2,
+                                           table=mutant),
+                               max_states=20_000)
+        assert not sim.ok, "explorer must confirm the symbolic verdict"
+
+    def test_clean_table_mutated_identically_stays_clean(
+            self, migratory_refined, migratory_table):
+        """mutate() with the row's own values is the identity — the
+        harness's faults come from the changes, not the copying."""
+        spec = migratory_table.spec(REMOTE, "V.lr", 0)
+        same = migratory_table.mutate(REMOTE, "V.lr", 0,
+                                      rewind_to=spec.rewind_to)
+        report = check_certificate(migratory_refined, table=same)
+        assert report.ok, report.describe()
+
+
+class TestRefineGate:
+    def test_refine_output_is_certified(self):
+        # would have raised if the certificate failed
+        refined = refine(invalidate_protocol())
+        assert check_certificate(refined).ok
+
+    def test_gate_rejects_inconsistent_plan(self, migratory_refined):
+        """A plan that declares a handshake request fire-and-forget
+        produces non-commuting schema rows; the gate must refuse it."""
+        bogus = RefinedProtocol(
+            protocol=migratory_refined.protocol,
+            plan=RefinementPlan(
+                config=RefinementConfig(
+                    fire_and_forget=frozenset({"req"})),
+                fused=migratory_refined.plan.fused))
+        with pytest.raises(CertificateError) as excinfo:
+            _gate_on_certificate(bogus)
+        assert excinfo.value.diagnostics
+        assert any(d.code == "P4401" for d in excinfo.value.diagnostics)
+
+    def test_certificate_error_is_a_refinement_error(self):
+        assert issubclass(CertificateError, RefinementError)
+
+
+class TestBudgets:
+    def test_truncation_is_reported_not_silent(self):
+        report = check_certificate(refine(msi_protocol()),
+                                   max_expansions=500)
+        assert not report.complete
+        assert any(d.code == "P4406" for d in report.diagnostics)
+        # truncation alone is a warning, not an error verdict
+        assert report.ok
+
+    def test_error_flood_is_capped(self, migratory_refined,
+                                   migratory_table):
+        mutant = migratory_table.mutate(REMOTE, "V.lr", 0,
+                                        forward_to="V.id")
+        report = check_certificate(migratory_refined, table=mutant,
+                                   max_failures=1)
+        errors = [d for d in report.diagnostics
+                  if d.severity >= Severity.ERROR and d.code == "P4401"]
+        assert len(errors) <= 1
+        assert not report.ok

@@ -80,3 +80,59 @@ class TestSelect:
         payload = json.loads(capsys.readouterr().out)
         assert {d["code"] for d in payload["diagnostics"]} == \
             {"P3301", "P3403"}
+
+
+class TestIgnore:
+    def test_ignore_drops_codes(self, capsys):
+        assert main(["lint", "migratory", "--ignore", "P3403"]) == 0
+        out = capsys.readouterr().out
+        assert "P3403" not in out
+        assert "P3301" in out  # everything else stays
+
+    def test_ignore_is_repeatable(self, capsys):
+        main(["lint", "migratory", "--json",
+              "--ignore", "P3403", "--ignore", "P3301"])
+        payload = json.loads(capsys.readouterr().out)
+        assert not {"P3403", "P3301"} & \
+            {d["code"] for d in payload["diagnostics"]}
+
+    def test_ignored_warning_no_longer_trips_strict(self):
+        # k=2 under the n=4 demand bound raises the P3201 warning
+        assert main(["lint", "migratory", "--strict"]) == 1
+        assert main(["lint", "migratory", "--strict",
+                     "--ignore", "P3201"]) == 0
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "migratory", "--ignore", "P9999"])
+
+    def test_select_ignore_overlap_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "migratory",
+                  "--select", "P3301", "--ignore", "P3301"])
+
+
+class TestHelpText:
+    def test_epilog_shows_usage_examples(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--help"])
+        out = capsys.readouterr().out
+        assert "--ignore" in out
+        assert "--strict" in out
+        assert "repro lint" in out  # worked examples, not just options
+
+
+class TestCertificateCodes:
+    def test_shipped_protocols_report_zero_p44_errors(self, capsys):
+        assert main(["lint", "all", "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == 4
+        for payload in reports:
+            errors = [d for d in payload["diagnostics"]
+                      if d["code"].startswith("P44")
+                      and d["severity"] == "error"]
+            assert not errors, (payload["subject"], errors)
+
+    def test_certificate_inventory_surfaces_in_lint(self, capsys):
+        main(["lint", "migratory"])
+        assert "P4405" in capsys.readouterr().out

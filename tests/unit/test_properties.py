@@ -54,6 +54,26 @@ class TestTarjan:
         assert len(tarjan_sccs(adjacency)) == n
 
 
+class TestAssertSafeCountOnly:
+    def test_count_only_deadlocks_still_raise(self):
+        """Parallel runs report deadlock counts without witness traces;
+        assert_safe must not mistake the empty list for safety."""
+        from repro.check.stats import ExplorationResult
+        result = ExplorationResult(system_name="sys", n_states=5,
+                                   n_transitions=8, seconds=0.1,
+                                   completed=True, deadlock_count=2)
+        with pytest.raises(PropertyViolation) as excinfo:
+            assert_safe(result)
+        assert "no witness trace" in str(excinfo.value)
+
+    def test_clean_result_passes_through(self):
+        from repro.check.stats import ExplorationResult
+        result = ExplorationResult(system_name="sys", n_states=5,
+                                   n_transitions=8, seconds=0.1,
+                                   completed=True)
+        assert assert_safe(result) is result
+
+
 class TestCheckProgress:
     def test_progress_cycle_ok(self):
         system = GraphSystem({0: [(1, False)], 1: [(0, True)]})

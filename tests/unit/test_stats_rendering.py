@@ -35,6 +35,24 @@ class TestOkFlag:
         assert not result(completed=False, stop_reason="x").ok
 
 
+class TestDeadlockCount:
+    """Count-only deadlock reporting (parallel workers ship no traces)."""
+
+    def test_count_without_witnesses_is_not_ok(self):
+        assert not result(deadlock_count=3).ok
+
+    def test_count_synced_from_witness_list(self):
+        trace = Counterexample("deadlock-freedom", states=[0], steps=[])
+        assert result(deadlocks=[trace]).deadlock_count == 1
+
+    def test_explicit_count_wins_over_shorter_list(self):
+        trace = Counterexample("deadlock-freedom", states=[0], steps=[])
+        assert result(deadlocks=[trace], deadlock_count=5).deadlock_count == 5
+
+    def test_describe_uses_the_count(self):
+        assert "3 deadlock state(s)" in result(deadlock_count=3).describe()
+
+
 class TestDescribe:
     def test_mentions_counts_and_time(self):
         text = result().describe()
