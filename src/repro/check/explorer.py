@@ -12,20 +12,34 @@ states are discovered and recording deadlocks, and stops early when the
 state or time budget runs out — our stand-in for the paper's 64 MB memory
 cap that produced the "Unfinished" cells of Table 3.
 
-Counterexample traces are reconstructed from BFS parent pointers, so every
-reported violation comes with a *shortest* witnessing run.
+The sweep is level-synchronous (the visit order of a FIFO queue, made
+explicit), which buys two things shared with the parallel driver in
+:mod:`repro.check.parallel`:
+
+* a per-level :class:`~repro.check.observe.LevelEvent` stream for
+  progress rendering and JSON profiles (``observer=``);
+* one :class:`ExplorationCore` holding the budget/count bookkeeping, so
+  the sequential and parallel engines *cannot* drift: both consult the
+  same budget checks before every single state expansion, and truncated
+  runs report identical counts.
+
+The visited set is pluggable (``store=``): the default exact store keeps
+full states plus BFS parent pointers, so every reported violation comes
+with a *shortest* witnessing run; the ``"fingerprint"`` store trades the
+traces (and a detectable sliver of soundness) for ~16 bytes per state —
+see :mod:`repro.check.store`.
 """
 
 from __future__ import annotations
 
-import sys
 import time
-from collections import deque
 from typing import Any, Callable, Hashable, Optional, Protocol, Sequence
 
+from .observe import LevelEvent, NullObserver, RunInfo, RunObserver
 from .stats import Counterexample, ExplorationResult
+from .store import StateStore, StoreSpec, make_store
 
-__all__ = ["System", "Invariant", "explore"]
+__all__ = ["System", "Invariant", "ExplorationCore", "explore"]
 
 
 class System(Protocol):
@@ -40,6 +54,94 @@ class System(Protocol):
 Invariant = tuple[str, Callable[[Any], bool]]
 
 
+class ExplorationCore:
+    """Budget, count, and event bookkeeping shared by every driver.
+
+    One instance per run.  Drivers call :meth:`should_stop` before each
+    state expansion (that ordering *is* the budget semantics: a run may
+    overshoot ``max_states`` by at most the successors of the expansion
+    in flight, identically in every driver), feed counts through the
+    public attributes, close each level with :meth:`level_done`, and
+    finish with :meth:`result` — which also emits the observer's
+    ``on_finish``.
+    """
+
+    def __init__(self, *, name: str, store: StoreSpec = "exact",
+                 observer: Optional[RunObserver] = None,
+                 max_states: Optional[int] = None,
+                 max_seconds: Optional[float] = None,
+                 workers: int = 1) -> None:
+        self.name = name
+        self.store: StateStore = make_store(store)
+        self.observer: RunObserver = (observer if observer is not None
+                                      else NullObserver())
+        self.max_states = max_states
+        self.max_seconds = max_seconds
+        self.workers = workers
+        self.t0 = time.perf_counter()
+        self.n_transitions = 0
+        self.deadlock_count = 0
+        self.completed = True
+        self.stop_reason: Optional[str] = None
+
+    def start(self) -> None:
+        self.observer.on_start(RunInfo(
+            name=self.name, store=self.store.name, workers=self.workers,
+            max_states=self.max_states, max_seconds=self.max_seconds))
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.t0
+
+    def should_stop(self) -> bool:
+        """Check both budgets; record the stop reason on the first trip."""
+        if (self.max_states is not None
+                and len(self.store) > self.max_states):
+            self.completed = False
+            self.stop_reason = f"state budget {self.max_states} exceeded"
+            return True
+        if (self.max_seconds is not None
+                and self.elapsed() > self.max_seconds):
+            self.completed = False
+            self.stop_reason = f"time budget {self.max_seconds}s exceeded"
+            return True
+        return False
+
+    def stop(self, reason: str) -> None:
+        self.completed = False
+        self.stop_reason = reason
+
+    def level_done(self, level: int, frontier: int, expanded: int,
+                   candidates: int, new_states: int) -> None:
+        self.observer.on_level(LevelEvent(
+            level=level, frontier=frontier, expanded=expanded,
+            candidates=candidates, new_states=new_states,
+            n_states=len(self.store), n_transitions=self.n_transitions,
+            deadlocks=self.deadlock_count, collisions=self.store.collisions,
+            approx_bytes=self.store.approx_bytes(), seconds=self.elapsed()))
+
+    def result(self, *, deadlocks: Optional[list[Counterexample]] = None,
+               violations: Optional[list[Counterexample]] = None,
+               graph: Optional[dict[Any, list[tuple[Any, Any]]]] = None,
+               ) -> ExplorationResult:
+        outcome = ExplorationResult(
+            system_name=self.name,
+            n_states=len(self.store),
+            n_transitions=self.n_transitions,
+            seconds=self.elapsed(),
+            completed=self.completed,
+            stop_reason=self.stop_reason,
+            deadlocks=deadlocks or [],
+            deadlock_count=self.deadlock_count,
+            violations=violations or [],
+            graph=graph,
+            approx_bytes=self.store.approx_bytes(),
+            store=self.store.name,
+            fingerprint_collisions=self.store.collisions,
+        )
+        self.observer.on_finish(outcome)
+        return outcome
+
+
 def explore(
     system: System,
     *,
@@ -50,6 +152,8 @@ def explore(
     keep_graph: bool = False,
     stop_on_violation: bool = True,
     allow_deadlock: bool = False,
+    store: StoreSpec = "exact",
+    observer: Optional[RunObserver] = None,
 ) -> ExplorationResult:
     """Breadth-first reachability analysis of ``system``.
 
@@ -64,29 +168,43 @@ def explore(
     :param allow_deadlock: when False, states without successors are
         recorded as deadlocks (with traces); when True they are treated as
         legitimate final states.
+    :param store: visited-state store — ``"exact"`` (default),
+        ``"fingerprint"`` (SPIN-style hash compaction: ~16 bytes/state, no
+        traces, collisions detected and counted), or a ready
+        :class:`~repro.check.store.StateStore`.  With a trace-free store,
+        deadlocks are counted (not witnessed) and violation
+        counterexamples carry only the violating state.
+    :param observer: a :class:`~repro.check.observe.RunObserver` receiving
+        per-level progress events (see :mod:`repro.check.observe`).
     :returns: an :class:`~repro.check.stats.ExplorationResult`; never raises
         for budget exhaustion, deadlocks, or violations — callers decide how
         strict to be (:func:`repro.check.properties.assert_safe` raises).
     """
-    t0 = time.perf_counter()
+    core = ExplorationCore(name=name, store=store, observer=observer,
+                           max_states=max_states, max_seconds=max_seconds)
+    core.start()
+    visited = core.store
     init = system.initial_state()
-    parent: dict[Hashable, Optional[tuple[Hashable, Any]]] = {init: None}
-    frontier: deque[Hashable] = deque([init])
+    visited.add(init, None)
     graph: Optional[dict[Hashable, list[tuple[Any, Hashable]]]] = (
         {} if keep_graph else None)
 
-    n_transitions = 0
-    deadlocks: list[Hashable] = []
+    deadlock_states: list[Hashable] = []
     violations: list[Counterexample] = []
-    completed = True
-    stop_reason: Optional[str] = None
 
     def build_trace(state: Hashable) -> tuple[list[Any], list[Any]]:
+        if not visited.supports_traces:
+            # hash compaction keeps no states: the witness is the state
+            # itself, with no path back to the initial state
+            return [state], []
         states: list[Any] = [state]
         steps: list[Any] = []
         cursor = state
-        while parent[cursor] is not None:
-            prev, action = parent[cursor]  # type: ignore[misc]
+        while True:
+            entry = visited.parent_of(cursor)
+            if entry is None:
+                break
+            prev, action = entry
             states.append(prev)
             steps.append(action)
             cursor = prev
@@ -104,55 +222,49 @@ def explore(
                     return False
         return True
 
+    stopped = False
     if not check_invariants(init):
-        frontier.clear()
-        completed = False
-        stop_reason = "invariant violated"
+        core.stop("invariant violated")
+        stopped = True
 
-    while frontier:
-        if max_states is not None and len(parent) > max_states:
-            completed = False
-            stop_reason = f"state budget {max_states} exceeded"
-            break
-        if max_seconds is not None and time.perf_counter() - t0 > max_seconds:
-            completed = False
-            stop_reason = f"time budget {max_seconds}s exceeded"
-            break
+    level: list[Hashable] = [init] if not stopped else []
+    level_index = 0
+    while level:
+        next_level: list[Hashable] = []
+        expanded = candidates = new_states = 0
+        for state in level:
+            if core.should_stop():
+                stopped = True
+                break
+            succs = system.successors(state)
+            expanded += 1
+            if graph is not None:
+                graph[state] = succs
+            if not succs and not allow_deadlock:
+                deadlock_states.append(state)
+                core.deadlock_count += 1
+            for action, nxt in succs:
+                core.n_transitions += 1
+                candidates += 1
+                if visited.add(nxt, (state, action)):
+                    new_states += 1
+                    if not check_invariants(nxt):
+                        core.stop("invariant violated")
+                        stopped = True
+                        break
+                    next_level.append(nxt)
+            if stopped:
+                break
+        core.level_done(level_index, len(level), expanded, candidates,
+                        new_states)
+        level_index += 1
+        level = [] if stopped else next_level
 
-        state = frontier.popleft()
-        succs = system.successors(state)
-        if graph is not None:
-            graph[state] = succs
-        if not succs and not allow_deadlock:
-            deadlocks.append(state)
-        stop = False
-        for action, nxt in succs:
-            n_transitions += 1
-            if nxt not in parent:
-                parent[nxt] = (state, action)
-                if not check_invariants(nxt):
-                    stop = True
-                    break
-                frontier.append(nxt)
-        if stop:
-            completed = False
-            stop_reason = "invariant violated"
-            break
-
-    seconds = time.perf_counter() - t0
-    result = ExplorationResult(
-        system_name=name,
-        n_states=len(parent),
-        n_transitions=n_transitions,
-        seconds=seconds,
-        completed=completed,
-        stop_reason=stop_reason,
-        deadlocks=[_with_trace(build_trace, s) for s in deadlocks],
+    return core.result(
+        deadlocks=[_with_trace(build_trace, s) for s in deadlock_states],
         violations=violations,
         graph=graph,
-        approx_bytes=_approx_bytes(parent),
     )
-    return result
 
 
 def _with_trace(build_trace: Callable[[Hashable], tuple[list[Hashable],
@@ -160,15 +272,3 @@ def _with_trace(build_trace: Callable[[Hashable], tuple[list[Hashable],
                 state: Hashable) -> Counterexample:
     states, steps = build_trace(state)
     return Counterexample("deadlock-freedom", states, steps)
-
-
-def _approx_bytes(visited: dict[Hashable, object]) -> int:
-    """Crude footprint estimate: dict overhead + one sampled state size.
-
-    This is deliberately rough — it exists so benchmark output can narrate
-    the memory-budget story of Table 3, not to meter Python precisely.
-    """
-    if not visited:
-        return 0
-    sample = next(iter(visited))
-    return sys.getsizeof(visited) + len(visited) * sys.getsizeof(sample)

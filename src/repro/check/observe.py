@@ -1,0 +1,248 @@
+"""Run observability for the explicit-state explorers.
+
+Long reachability sweeps — the paper's Table 3 runs took SPIN minutes to
+hours — are miserable to babysit blind.  This module defines the
+:class:`RunObserver` protocol both explorers emit to, plus the two
+consumers the CLI and benchmarks use:
+
+* :class:`ProgressRenderer` prints one line per BFS level (frontier
+  size, cumulative states, states/sec, dedup ratio, approximate bytes),
+  the model checker's analogue of a progress bar;
+* :class:`JsonProfileWriter` records the same events as a JSON document
+  (schema ``repro.profile/1``) for offline analysis and for the CI
+  benchmark artifact.
+
+Profile JSON schema (``repro.profile/1``)::
+
+    {
+      "schema": "repro.profile/1",
+      "run": {"name": ..., "store": "exact"|"fingerprint",
+              "workers": int, "max_states": int|null,
+              "max_seconds": float|null},
+      "levels": [ {"level": int, "frontier": int, "expanded": int,
+                   "candidates": int, "new_states": int,
+                   "n_states": int, "n_transitions": int,
+                   "deadlocks": int, "collisions": int,
+                   "approx_bytes": int, "seconds": float,
+                   "dedup_ratio": float, "states_per_sec": float}, ... ],
+      "result": {"system": str, "store": str, "n_states": int,
+                 "n_transitions": int, "deadlocks": int,
+                 "fingerprint_collisions": int, "seconds": float,
+                 "completed": bool, "stop_reason": str|null,
+                 "approx_bytes": int}
+    }
+
+``levels`` includes the partial level in flight when a budget truncates
+the run, so profiles of "Unfinished" cells show exactly where the wall
+was hit.  Every event carries *cumulative* totals (``n_states`` etc.)
+next to the per-level deltas (``frontier``/``candidates``/``new_states``)
+so consumers need no reduction pass.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, Optional, Protocol, Union
+
+from .stats import ExplorationResult
+
+__all__ = [
+    "RunInfo",
+    "LevelEvent",
+    "RunObserver",
+    "NullObserver",
+    "MultiObserver",
+    "ProgressRenderer",
+    "JsonProfileWriter",
+    "PROFILE_SCHEMA",
+]
+
+PROFILE_SCHEMA = "repro.profile/1"
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """Static facts about one exploration run, emitted before level 0."""
+
+    name: str
+    store: str
+    workers: int = 1
+    max_states: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LevelEvent:
+    """Statistics for one completed (or budget-truncated) BFS level."""
+
+    #: 0-based level index (level 0 is the initial state alone)
+    level: int
+    #: states scheduled for expansion at this level
+    frontier: int
+    #: states actually expanded (< ``frontier`` only when truncated)
+    expanded: int
+    #: successor states examined (transitions taken) at this level
+    candidates: int
+    #: states first discovered at this level
+    new_states: int
+    #: cumulative distinct states in the store
+    n_states: int
+    #: cumulative transitions examined
+    n_transitions: int
+    #: cumulative deadlocked states
+    deadlocks: int
+    #: cumulative detected fingerprint collisions (0 for exact stores)
+    collisions: int
+    #: store footprint estimate after this level
+    approx_bytes: int
+    #: wall-clock seconds since the run started
+    seconds: float
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of examined successors that were already visited."""
+        if self.candidates == 0:
+            return 0.0
+        return 1.0 - self.new_states / self.candidates
+
+    @property
+    def states_per_sec(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.n_states / self.seconds
+
+
+class RunObserver(Protocol):
+    """What an exploration driver reports to.  All methods are optional
+    work for the consumer; drivers call every one exactly as documented:
+    ``on_start`` once, ``on_level`` per (possibly partial) level in
+    order, ``on_finish`` once with the final result."""
+
+    def on_start(self, run: RunInfo) -> None: ...
+
+    def on_level(self, event: LevelEvent) -> None: ...
+
+    def on_finish(self, result: ExplorationResult) -> None: ...
+
+
+class NullObserver:
+    """The do-nothing default."""
+
+    def on_start(self, run: RunInfo) -> None:
+        pass
+
+    def on_level(self, event: LevelEvent) -> None:
+        pass
+
+    def on_finish(self, result: ExplorationResult) -> None:
+        pass
+
+
+class MultiObserver:
+    """Fan one event stream out to several observers (CLI: progress
+    lines *and* a profile file)."""
+
+    def __init__(self, *observers: RunObserver) -> None:
+        self.observers = tuple(observers)
+
+    def on_start(self, run: RunInfo) -> None:
+        for obs in self.observers:
+            obs.on_start(run)
+
+    def on_level(self, event: LevelEvent) -> None:
+        for obs in self.observers:
+            obs.on_level(event)
+
+    def on_finish(self, result: ExplorationResult) -> None:
+        for obs in self.observers:
+            obs.on_finish(result)
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+class ProgressRenderer:
+    """One human-readable line per level, SPIN-progress style."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def on_start(self, run: RunInfo) -> None:
+        budget = []
+        if run.max_states is not None:
+            budget.append(f"max_states={run.max_states}")
+        if run.max_seconds is not None:
+            budget.append(f"max_seconds={run.max_seconds}")
+        suffix = f" [{', '.join(budget)}]" if budget else ""
+        print(f"exploring {run.name} (store={run.store}, "
+              f"workers={run.workers}){suffix}", file=self.stream)
+
+    def on_level(self, event: LevelEvent) -> None:
+        line = (f"  level {event.level:3d}: frontier {event.frontier:7d}  "
+                f"states {event.n_states:8d}  "
+                f"{event.states_per_sec:8.0f} st/s  "
+                f"dedup {event.dedup_ratio:5.1%}  "
+                f"mem {_fmt_bytes(event.approx_bytes)}")
+        if event.collisions:
+            line += f"  collisions {event.collisions}"
+        if event.expanded < event.frontier:
+            line += f"  (truncated after {event.expanded})"
+        print(line, file=self.stream)
+
+    def on_finish(self, result: ExplorationResult) -> None:
+        print(f"  done: {result.describe()}", file=self.stream)
+
+
+class JsonProfileWriter:
+    """Accumulate level events; write the profile JSON on finish."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._run: Optional[RunInfo] = None
+        self._levels: list[LevelEvent] = []
+
+    def on_start(self, run: RunInfo) -> None:
+        self._run = run
+        self._levels = []
+
+    def on_level(self, event: LevelEvent) -> None:
+        self._levels.append(event)
+
+    def on_finish(self, result: ExplorationResult) -> None:
+        self.path.write_text(json.dumps(self.profile(result), indent=2)
+                             + "\n")
+
+    def profile(self, result: ExplorationResult) -> dict[str, object]:
+        """The profile document as a plain dict (what gets written)."""
+        levels = []
+        for event in self._levels:
+            record = asdict(event)
+            record["dedup_ratio"] = event.dedup_ratio
+            record["states_per_sec"] = event.states_per_sec
+            levels.append(record)
+        return {
+            "schema": PROFILE_SCHEMA,
+            "run": None if self._run is None else asdict(self._run),
+            "levels": levels,
+            "result": {
+                "system": result.system_name,
+                "store": result.store,
+                "n_states": result.n_states,
+                "n_transitions": result.n_transitions,
+                "deadlocks": result.deadlock_count,
+                "fingerprint_collisions": result.fingerprint_collisions,
+                "seconds": result.seconds,
+                "completed": result.completed,
+                "stop_reason": result.stop_reason,
+                "approx_bytes": result.approx_bytes,
+            },
+        }

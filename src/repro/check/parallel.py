@@ -2,44 +2,64 @@
 
 Explicit-state exploration is embarrassingly parallel per BFS level: every
 frontier state's successor computation is independent.  This module runs a
-level-synchronous BFS where frontier chunks are expanded by a pool of
-worker processes, and the master deduplicates against the visited set —
-the classic distributed-model-checking work split, in miniature.
+level-synchronous BFS where frontier chunks are expanded by a persistent
+pool of worker processes (one pool for the whole run — spawning and
+re-initialising per level would drown the gain), and the master *replays*
+the expansion results in frontier order through the same
+:class:`~repro.check.explorer.ExplorationCore` the sequential explorer
+uses — the classic distributed-model-checking work split, in miniature.
 
-Two Python realities shape the design (profiled, per the optimisation
+Three Python realities shape the design (profiled, per the optimisation
 adage "no optimisation without measuring"):
 
 * protocol objects carry lambdas and cannot be pickled, so workers
   *reconstruct* the transition system from a picklable
   :class:`SystemSpec` (library protocols by name + refinement-config
-  kwargs) in a pool initializer — user protocols can participate by
-  registering a module-level factory;
-* per-state work is microseconds, so shipping states to workers only pays
-  off once frontiers are large.  The driver therefore expands small
-  frontiers inline and only fans out above ``fanout_threshold``; expect
-  useful speedups on the *asynchronous* spaces (big states, big frontiers)
-  and none on rendezvous-size graphs — the benchmark records both, and the
-  honest summary is that Python process-pool overheads eat most of the
-  gain unless states are expensive.  The module is as much a demonstration
-  of the technique (and of measuring before trusting it) as a speedup.
+  kwargs) in a pool initializer.  User protocols participate by
+  registering a module-level factory with :func:`register_factory`; its
+  ``module:function`` path rides inside the spec, so workers resolve it
+  by import — which works under every multiprocessing start method,
+  including ``spawn``, where workers inherit nothing from the parent;
+* shipping states costs pickling; workers therefore deduplicate the
+  successors of each chunk before shipping them back (any successor equal
+  to a chunk input or to an earlier successor of the same chunk is
+  already known to the master, so dropping it cannot change counts);
+* per-state work is microseconds, so fan-out only pays once frontiers are
+  large.  The driver expands small frontiers inline and only ships chunks
+  above ``fanout_threshold``; expect useful speedups on the
+  *asynchronous* spaces (big states, big frontiers) and none on
+  rendezvous-size graphs — the benchmark records both, and the honest
+  summary is that Python process-pool overheads eat most of the gain
+  unless states are expensive.
 
-Results are byte-identical to the sequential explorer (state and
-transition counts, deadlock count); invariant checking and trace
-reconstruction stay sequential-only features.
+Counts are **identical** to the sequential explorer — including runs
+truncated by ``max_states``/``max_seconds``.  The master consumes
+expansion results one source state at a time, in frontier order, and
+consults the shared core's budget checks before *each* state's results
+are admitted — exactly where the sequential loop consults them — so a
+budget can no longer slide to the end of a level (the historical
+divergence this module shipped with).  Workers may expand a few states
+speculatively past the stop point; their results are discarded, never
+counted.  Invariant checking and trace reconstruction stay
+sequential-only features.
 """
 
 from __future__ import annotations
 
+import importlib
+import multiprocessing
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Optional
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Hashable, Iterator, Optional
 
-from .explorer import explore
+from .explorer import ExplorationCore, explore
+from .observe import RunObserver
 from .stats import ExplorationResult
+from .store import StoreSpec
 
-__all__ = ["SystemSpec", "build_system", "explore_parallel"]
+__all__ = ["SystemSpec", "build_system", "explore_parallel",
+           "register_factory", "resolve_factory"]
 
 
 @dataclass(frozen=True)
@@ -49,7 +69,11 @@ class SystemSpec:
     ``protocol`` is a library protocol name (``migratory``, ``invalidate``,
     ``msi``, ``mesi``) or a name registered via :func:`register_factory`.
     ``config`` holds :class:`~repro.refine.plan.RefinementConfig` kwargs as
-    a tuple of items (hashable/picklable).
+    a tuple of items (hashable/picklable).  ``factory`` optionally pins a
+    ``module:function`` protocol factory path, which worker processes
+    resolve by import — the only registration that survives the ``spawn``
+    start method; :func:`explore_parallel` fills it in automatically for
+    registered factories.
     """
 
     protocol: str
@@ -57,21 +81,63 @@ class SystemSpec:
     n_remotes: int
     config: tuple[tuple[str, Any], ...] = ()
     symmetry: bool = False
+    factory: Optional[str] = None
 
     def config_dict(self) -> dict[str, Any]:
         return dict(self.config)
 
 
-_EXTRA_FACTORIES: dict[str, Callable[[], Any]] = {}
+#: name -> (callable for this process, importable path for workers)
+_EXTRA_FACTORIES: dict[str, tuple[Callable[[], Any], Optional[str]]] = {}
+
+
+def _factory_path(factory: Callable[[], Any]) -> Optional[str]:
+    """The ``module:function`` path of ``factory``, if import resolves
+    back to the same object; None for lambdas/closures/instance cruft."""
+    module = getattr(factory, "__module__", None)
+    qualname = getattr(factory, "__qualname__", "")
+    if not module or not qualname or "<" in qualname or "." in qualname:
+        return None
+    try:
+        imported = importlib.import_module(module)
+    except ImportError:
+        return None
+    if getattr(imported, qualname, None) is not factory:
+        return None
+    return f"{module}:{qualname}"
+
+
+def resolve_factory(path: str) -> Callable[[], Any]:
+    """Import a ``module:function`` factory path (worker side)."""
+    module, _, attr = path.partition(":")
+    if not module or not attr:
+        raise ValueError(f"factory path {path!r} is not 'module:function'")
+    factory = getattr(importlib.import_module(module), attr, None)
+    if not callable(factory):
+        raise ValueError(f"factory path {path!r} does not name a callable")
+    return factory
 
 
 def register_factory(name: str, factory: Callable[[], Any]) -> None:
-    """Register a module-level protocol factory for worker processes.
+    """Register a protocol factory under ``name`` for :func:`build_system`.
 
-    ``factory`` must be importable by name from a module (a plain function,
-    not a lambda/closure), or registration defeats its purpose.
+    A *module-level* function (importable as ``module:function``) also
+    works in worker processes under any start method — its path is
+    shipped inside the :class:`SystemSpec`.  A lambda/closure still works
+    in this process and in ``fork`` workers (which inherit the registry),
+    but cannot be shipped to ``spawn`` workers.
     """
-    _EXTRA_FACTORIES[name] = factory
+    _EXTRA_FACTORIES[name] = (factory, _factory_path(factory))
+
+
+def shippable_spec(spec: SystemSpec) -> SystemSpec:
+    """Attach the registered factory path, so workers can rebuild it."""
+    if spec.factory is not None:
+        return spec
+    entry = _EXTRA_FACTORIES.get(spec.protocol)
+    if entry is None or entry[1] is None:
+        return spec
+    return replace(spec, factory=entry[1])
 
 
 def build_system(spec: SystemSpec) -> Any:
@@ -90,13 +156,19 @@ def build_system(spec: SystemSpec) -> Any:
         "invalidate": invalidate_protocol,
         "msi": msi_protocol,
         "mesi": mesi_protocol,
-        **_EXTRA_FACTORIES,
     }
-    try:
-        protocol = factories[spec.protocol]()
-    except KeyError:
-        raise KeyError(f"unknown protocol {spec.protocol!r}; register a "
-                       "factory with register_factory()") from None
+    entry = _EXTRA_FACTORIES.get(spec.protocol)
+    if entry is not None:
+        protocol = entry[0]()
+    elif spec.factory is not None:
+        protocol = resolve_factory(spec.factory)()
+    else:
+        try:
+            protocol = factories[spec.protocol]()
+        except KeyError:
+            raise KeyError(
+                f"unknown protocol {spec.protocol!r}; register a "
+                "module-level factory with register_factory()") from None
     system: Any
     if spec.level == "rendezvous":
         system = RendezvousSystem(protocol, spec.n_remotes)
@@ -123,12 +195,26 @@ def _init_worker(spec: SystemSpec) -> None:
 
 
 def _expand_chunk(states: list[Hashable]) -> list[tuple[int, list[Hashable]]]:
-    """Expand a chunk: per state, (n_transitions, successor states)."""
+    """Expand a chunk: per state, (raw successor count, fresh successors).
+
+    Successors are deduplicated *within the chunk* before pickling them
+    back: every chunk input is already in the master's visited set (that
+    is how it became frontier), and an earlier occurrence in the same
+    chunk reaches the master first, so a duplicate could never be
+    admitted anyway.  The raw count per source state is preserved — the
+    master's transition/deadlock accounting needs it.
+    """
     system = _WORKER_SYSTEM
+    seen: set[Hashable] = set(states)
     out: list[tuple[int, list[Hashable]]] = []
     for state in states:
         successors = system.successors(state)
-        out.append((len(successors), [nxt for _a, nxt in successors]))
+        fresh: list[Hashable] = []
+        for _action, nxt in successors:
+            if nxt not in seen:
+                seen.add(nxt)
+                fresh.append(nxt)
+        out.append((len(successors), fresh))
     return out
 
 
@@ -144,12 +230,23 @@ def explore_parallel(
     fanout_threshold: int = 256,
     chunk_size: int = 128,
     allow_deadlock: bool = False,
+    store: StoreSpec = "exact",
+    observer: Optional[RunObserver] = None,
+    start_method: Optional[str] = None,
 ) -> ExplorationResult:
     """Level-synchronous parallel BFS over the system described by ``spec``.
 
-    Falls back to the sequential explorer for ``workers == 1``.  Counts are
-    identical to :func:`repro.check.explorer.explore` (BFS order differs,
-    reachable sets do not).
+    Falls back to the sequential explorer for ``workers == 1``.  Counts
+    (``n_states``, ``n_transitions``, ``deadlock_count``) and
+    ``stop_reason`` are identical to
+    :func:`repro.check.explorer.explore`, including budget-truncated
+    runs; BFS order differs, reachable sets do not.  ``store``,
+    ``observer`` and budget semantics are shared with the sequential
+    driver through :class:`~repro.check.explorer.ExplorationCore`.
+
+    :param start_method: multiprocessing start method for the pool
+        (``"fork"``/``"spawn"``/``"forkserver"``); None uses the
+        platform default.
     """
     workers = workers or max(1, (os.cpu_count() or 2) - 1)
     local_system = build_system(spec)
@@ -157,65 +254,86 @@ def explore_parallel(
     if workers == 1:
         return explore(local_system, name=name, max_states=max_states,
                        max_seconds=max_seconds,
-                       allow_deadlock=allow_deadlock)
+                       allow_deadlock=allow_deadlock,
+                       store=store, observer=observer)
 
-    t0 = time.perf_counter()
+    core = ExplorationCore(name=name, store=store, observer=observer,
+                           max_states=max_states, max_seconds=max_seconds,
+                           workers=workers)
+    core.start()
+    visited = core.store
     init = local_system.initial_state()
-    visited: set[Hashable] = {init}
-    frontier: list[Hashable] = [init]
-    n_transitions = 0
-    n_deadlocks = 0
-    completed = True
-    stop_reason = None
+    visited.add(init)
 
-    with ProcessPoolExecutor(max_workers=workers, initializer=_init_worker,
-                             initargs=(spec,)) as pool:
-        while frontier:
-            if max_states is not None and len(visited) > max_states:
-                completed, stop_reason = \
-                    False, f"state budget {max_states} exceeded"
-                break
-            if max_seconds is not None and \
-                    time.perf_counter() - t0 > max_seconds:
-                completed, stop_reason = False, "time budget exceeded"
-                break
-
-            expanded: list[tuple[int, list[Hashable]]]
-            if len(frontier) < fanout_threshold:
-                expanded = [_expand_locally(local_system, s)
-                            for s in frontier]
-            else:
-                chunks = [frontier[i:i + chunk_size]
-                          for i in range(0, len(frontier), chunk_size)]
-                expanded = []
-                for result in pool.map(_expand_chunk, chunks):
-                    expanded.extend(result)
-
-            next_frontier: list[Hashable] = []
-            for n_succ, successors in expanded:
-                n_transitions += n_succ
+    mp_context = (multiprocessing.get_context(start_method)
+                  if start_method is not None else None)
+    pool = ProcessPoolExecutor(max_workers=workers,
+                               initializer=_init_worker,
+                               initargs=(shippable_spec(spec),),
+                               mp_context=mp_context)
+    stopped = False
+    try:
+        level: list[Hashable] = [init]
+        level_index = 0
+        while level:
+            next_level: list[Hashable] = []
+            expanded = candidates = new_states = 0
+            for n_succ, successors in _expansions(
+                    pool, local_system, level, fanout_threshold, chunk_size):
+                # The replay point: this is where the sequential loop
+                # stands immediately before expanding the same state, so
+                # the budget verdict — and every count — matches it.
+                if core.should_stop():
+                    stopped = True
+                    break
+                expanded += 1
+                core.n_transitions += n_succ
+                candidates += n_succ
                 if n_succ == 0 and not allow_deadlock:
-                    n_deadlocks += 1
+                    core.deadlock_count += 1
                 for state in successors:
-                    if state not in visited:
-                        visited.add(state)
-                        next_frontier.append(state)
-            frontier = next_frontier
+                    if visited.add(state):
+                        new_states += 1
+                        next_level.append(state)
+            core.level_done(level_index, len(level), expanded, candidates,
+                            new_states)
+            level_index += 1
+            level = [] if stopped else next_level
+    finally:
+        # one persistent pool for the whole run; on truncation, abandon
+        # whatever speculative chunks are still in flight
+        pool.shutdown(wait=False, cancel_futures=True)
 
-    result = ExplorationResult(
-        system_name=name,
-        n_states=len(visited),
-        n_transitions=n_transitions,
-        seconds=time.perf_counter() - t0,
-        completed=completed,
-        stop_reason=stop_reason,
-        # counts only; building witness traces needs the sequential
-        # explorer's parent pointers
-        deadlock_count=n_deadlocks,
-    )
-    return result
+    # counts only; building witness traces needs the sequential
+    # explorer's parent pointers
+    return core.result()
 
 
-def _expand_locally(system: Any, state: Hashable) -> tuple[int, list[Hashable]]:
-    successors = system.successors(state)
-    return len(successors), [nxt for _a, nxt in successors]
+def _expansions(
+    pool: ProcessPoolExecutor,
+    local_system: Any,
+    level: list[Hashable],
+    fanout_threshold: int,
+    chunk_size: int,
+) -> Iterator[tuple[int, list[Hashable]]]:
+    """Per-state expansion results for one level, in frontier order.
+
+    Small frontiers are expanded inline (pool overhead would dominate);
+    large ones are chunked across the pool.  All chunks are submitted up
+    front so workers stay busy while the master replays results; if the
+    consumer stops early (budget trip), pending chunks are cancelled.
+    """
+    if len(level) < fanout_threshold:
+        for state in level:
+            successors = local_system.successors(state)
+            yield len(successors), [nxt for _action, nxt in successors]
+        return
+    chunks = [level[i:i + chunk_size]
+              for i in range(0, len(level), chunk_size)]
+    futures = [pool.submit(_expand_chunk, chunk) for chunk in chunks]
+    try:
+        for future in futures:
+            yield from future.result()
+    finally:
+        for future in futures:
+            future.cancel()

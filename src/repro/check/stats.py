@@ -69,8 +69,16 @@ class ExplorationResult:
     #: retention was requested (needed for SCC / progress analysis)
     graph: Optional[dict[Any, list[tuple[Any, Any]]]] = None
     #: rough memory footprint of the visited-state set, for the Table 3
-    #: memory-budget narrative (Python object sizes, not SPIN's)
+    #: memory-budget narrative (Python object sizes, not SPIN's); metered
+    #: by the store (:mod:`repro.check.store`) in every driver
     approx_bytes: int = 0
+    #: which visited-state store ran: ``"exact"`` or ``"fingerprint"``
+    store: str = "exact"
+    #: fingerprint collisions *detected* by the hash-compaction store's
+    #: second hash; each one is a distinct state the run treated as
+    #: already visited, i.e. a lower bound on under-exploration.  Always
+    #: 0 for exact stores.
+    fingerprint_collisions: int = 0
 
     def __post_init__(self) -> None:
         if self.deadlocks and self.deadlock_count < len(self.deadlocks):
@@ -97,6 +105,9 @@ class ExplorationResult:
         if self.violations:
             names = ", ".join(v.property_name for v in self.violations)
             extra += f", violations: {names}"
+        if self.store != "exact":
+            extra += (f", {self.store} store"
+                      f" ({self.fingerprint_collisions} collision(s))")
         return (f"{self.system_name}: {self.n_states} states, "
                 f"{self.n_transitions} transitions in {self.seconds:.2f}s "
                 f"[{status}]{extra}")

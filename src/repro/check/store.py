@@ -1,0 +1,261 @@
+"""Pluggable visited-state stores for the explicit-state explorers.
+
+The visited set is the memory bottleneck of explicit-state model checking
+— the very bottleneck the paper's Table 3 "Unfinished" cells dramatize.
+This module factors it behind a small :class:`StateStore` interface with
+two implementations, shared by the sequential and parallel drivers:
+
+* :class:`ExactStore` keeps full states plus BFS parent pointers, so
+  counterexample and deadlock traces can be reconstructed.  This is the
+  default and what every pre-existing caller gets.
+* :class:`FingerprintStore` keeps only a 64-bit fingerprint per state —
+  SPIN's *hash compaction* — cutting memory per state to ~16 bytes at the
+  cost of (a) no traces and (b) a small probability that two distinct
+  states collide and a reachable state is silently skipped.  A second,
+  independent 64-bit check hash detects (and counts) primary-fingerprint
+  collisions, so a run can report how much it may have under-explored;
+  with both hashes at 64 bits the chance of an *undetected* collision is
+  negligible for the state-space sizes this library reaches.
+
+Fingerprints are computed over a *canonical encoding* of the state
+(:func:`canonical`): a nested tuple of primitives in which unordered
+containers (``frozenset`` values in variable environments, e.g. sharer
+sets) are sorted.  Canonicalisation matters because two equal frozensets
+built in different insertion orders may iterate — and therefore ``repr``
+— differently; hashing the raw ``repr`` would split one state into two.
+States advertise an encoding by exposing ``canonical_key()`` (see
+:mod:`repro.semantics.state` / :mod:`repro.semantics.asynchronous`);
+plain hashable states (ints in the unit-test toy systems) are used as-is.
+
+Both stores meter their own memory via :meth:`StateStore.approx_bytes`,
+replacing the explorer's old sample-one-key guess that ignored the
+parent-pointer payloads entirely — so the Table 3 "Unfinished" narration
+is computed the same way in every driver.
+"""
+
+from __future__ import annotations
+
+import sys
+from hashlib import blake2b
+from typing import Any, Hashable, Iterator, Optional, Protocol, Union
+
+__all__ = [
+    "STORE_NAMES",
+    "ParentEntry",
+    "StateStore",
+    "ExactStore",
+    "FingerprintStore",
+    "StoreSpec",
+    "canonical",
+    "fingerprint",
+    "make_store",
+]
+
+#: BFS provenance of a state: ``(predecessor, action)``; ``None`` for the
+#: initial state.
+ParentEntry = Optional[tuple[Hashable, Any]]
+
+
+# ---------------------------------------------------------------------------
+# canonical encoding + fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _canon(obj: Any) -> Any:
+    """Recursively canonicalise a structural encoding.
+
+    Tuples recurse; frozensets become sorted, tagged tuples (sorted by
+    ``repr`` so mixed-type element sets stay comparable); everything else
+    is returned unchanged.  The tag keeps ``frozenset({1})`` distinct
+    from the tuple ``(1,)``.
+    """
+    if isinstance(obj, tuple):
+        return tuple(_canon(x) for x in obj)
+    if isinstance(obj, frozenset):
+        return ("\x00frozenset\x00",) + tuple(
+            sorted((_canon(x) for x in obj), key=repr))
+    return obj
+
+
+def canonical(state: Hashable) -> Any:
+    """The canonical structural encoding of ``state``.
+
+    Uses the state's ``canonical_key()`` when it has one (the semantics
+    classes do), else the state itself, then canonicalises unordered
+    containers so equal states always encode identically.
+    """
+    key = getattr(state, "canonical_key", None)
+    return _canon(key() if callable(key) else state)
+
+
+def fingerprint(state: Hashable, *, salt: bytes = b"") -> int:
+    """A 64-bit fingerprint of ``state``'s canonical encoding.
+
+    blake2b over the ``repr`` of the canonical encoding: deterministic
+    across processes and runs (unlike ``hash()``, which is seeded per
+    process), uniform, and fast enough for the state rates this library
+    reaches.  ``salt`` keys an independent second fingerprint.
+    """
+    digest = blake2b(repr(canonical(state)).encode(),
+                     digest_size=8, key=salt).digest()
+    return int.from_bytes(digest, "big")
+
+
+# ---------------------------------------------------------------------------
+# the store interface
+# ---------------------------------------------------------------------------
+
+
+class StateStore(Protocol):
+    """Structural interface of a visited-state store."""
+
+    #: store kind, echoed into results and profiles
+    name: str
+    #: True when parent pointers are retained and traces can be rebuilt
+    supports_traces: bool
+    #: detected fingerprint collisions (always 0 for exact stores)
+    collisions: int
+
+    def add(self, state: Hashable, parent: ParentEntry = None) -> bool:
+        """Record ``state``; return True iff it was not already present."""
+        ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, state: Hashable) -> bool: ...
+
+    def parent_of(self, state: Hashable) -> ParentEntry:
+        """The BFS parent entry of ``state`` (exact stores only)."""
+        ...
+
+    def approx_bytes(self) -> int:
+        """Crude memory footprint of the store (Table 3 narration)."""
+        ...
+
+
+class ExactStore:
+    """Full states + parent pointers in one dict (the classic layout)."""
+
+    name = "exact"
+    supports_traces = True
+    collisions = 0
+
+    def __init__(self) -> None:
+        self._parents: dict[Hashable, ParentEntry] = {}
+
+    def add(self, state: Hashable, parent: ParentEntry = None) -> bool:
+        if state in self._parents:
+            return False
+        self._parents[state] = parent
+        return True
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def __contains__(self, state: Hashable) -> bool:
+        return state in self._parents
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parents)
+
+    def parent_of(self, state: Hashable) -> ParentEntry:
+        return self._parents[state]
+
+    def approx_bytes(self) -> int:
+        """Dict overhead plus sampled per-entry cost, parents included.
+
+        Deliberately rough — it narrates the Table 3 memory-budget story,
+        it does not meter CPython precisely.  Unlike the explorer's old
+        estimate it samples the parent-pointer payload too (a two-tuple
+        per non-initial state), which is real, per-state memory.
+        """
+        if not self._parents:
+            return 0
+        # Sample the newest entry: the initial state (the oldest) is the
+        # only one with a None parent, so the newest is representative.
+        state = next(reversed(self._parents))
+        entry = self._parents[state]
+        per_parent = 0 if entry is None else (
+            sys.getsizeof(entry) + sys.getsizeof(entry[1]))
+        per_state = sys.getsizeof(state) + per_parent
+        return sys.getsizeof(self._parents) + len(self._parents) * per_state
+
+
+class FingerprintStore:
+    """SPIN-style hash compaction: 64-bit fingerprints, no states.
+
+    Each state is reduced to a primary 64-bit fingerprint (the dict key)
+    and an independent 64-bit check hash (the value).  A state whose
+    primary fingerprint is present but whose check hash differs is a
+    *detected collision*: a distinct state that hash compaction would
+    have silently merged.  It is still treated as visited — that is the
+    compaction trade-off — but counted, so results can report how much
+    the run may have under-explored.  Traces cannot be reconstructed
+    (there are no states to string together).
+
+    ``bits`` truncates the primary fingerprint, which exists to make
+    collisions reproducible in tests; production use keeps all 64.
+    """
+
+    supports_traces = False
+
+    def __init__(self, *, bits: int = 64) -> None:
+        if not 1 <= bits <= 64:
+            raise ValueError(f"fingerprint bits must be in 1..64, got {bits}")
+        self.name = "fingerprint"
+        self.collisions = 0
+        self._mask = (1 << bits) - 1
+        self._table: dict[int, int] = {}
+
+    def _fingerprints(self, state: Hashable) -> tuple[int, int]:
+        return (fingerprint(state) & self._mask,
+                fingerprint(state, salt=b"repro-check"))
+
+    def add(self, state: Hashable, parent: ParentEntry = None) -> bool:
+        primary, check = self._fingerprints(state)
+        current = self._table.get(primary)
+        if current is None:
+            self._table[primary] = check
+            return True
+        if current != check:
+            self.collisions += 1
+        return False
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, state: Hashable) -> bool:
+        primary, _check = self._fingerprints(state)
+        return primary in self._table
+
+    def parent_of(self, state: Hashable) -> ParentEntry:
+        raise KeyError(
+            "fingerprint stores keep no states, so no parent pointers")
+
+    def approx_bytes(self) -> int:
+        # two 64-bit words per state plus the table itself
+        return sys.getsizeof(self._table) + 16 * len(self._table)
+
+
+# ---------------------------------------------------------------------------
+# construction
+# ---------------------------------------------------------------------------
+
+STORE_NAMES = ("exact", "fingerprint")
+
+#: What callers may pass for a ``store=`` argument: a kind name or a
+#: ready-made store instance (for tests injecting e.g. truncated-bit
+#: fingerprint stores).
+StoreSpec = Union[str, StateStore]
+
+
+def make_store(spec: StoreSpec = "exact") -> StateStore:
+    """Resolve a ``store=`` argument to a fresh (or given) store."""
+    if isinstance(spec, str):
+        if spec == "exact":
+            return ExactStore()
+        if spec == "fingerprint":
+            return FingerprintStore()
+        raise ValueError(f"unknown store {spec!r}; "
+                         f"choose from {', '.join(STORE_NAMES)}")
+    return spec

@@ -4,6 +4,11 @@ Commands:
 
 * ``verify``   — model-check a library protocol at a given level/node count
   (``--symmetry`` explores one representative per remote-permutation orbit).
+* ``check``    — the raw reachability sweep with the performance knobs:
+  ``--store fingerprint`` for SPIN-style hash compaction (~16 bytes/state,
+  collision-counted), ``--parallel``/``--workers`` for multi-process
+  frontier expansion, ``--levels`` for per-level progress lines, and
+  ``--profile out.json`` for a machine-readable run profile.
 * ``lint``     — run the static-analysis suite (section 2.4 restrictions,
   reachability, guard overlap, fusability, buffer demand, transients,
   the P44xx simulation certificate) and print structured diagnostics
@@ -20,6 +25,8 @@ Examples::
 
     repro verify migratory --level rendezvous -n 8 --progress
     repro verify invalidate -n 6 --symmetry
+    repro check migratory --level async -n 3 --store fingerprint --levels
+    repro check migratory --level async -n 4 --parallel --profile out.json
     repro lint migratory --json
     repro lint all -n 8 --strict
     repro refine invalidate --figures
@@ -39,6 +46,7 @@ from typing import Callable, Optional
 from . import __version__
 from .check.explorer import explore
 from .check.properties import check_progress
+from .check.store import STORE_NAMES
 from .check.simulation import check_simulation
 from .protocols.handwritten import handwritten_migratory
 from .protocols.invalidate import invalidate_protocol
@@ -123,6 +131,42 @@ def cmd_verify(args) -> int:
         # labels, so it always runs on the unreduced system.
         print(check_progress(base_system, max_states=args.budget).describe())
     return 0 if result.ok else 1
+
+
+def cmd_check(args) -> int:
+    from .check.observe import JsonProfileWriter, MultiObserver, ProgressRenderer
+    from .check.parallel import SystemSpec, build_system, explore_parallel
+
+    observers = []
+    if args.levels:
+        observers.append(ProgressRenderer())
+    if args.profile:
+        observers.append(JsonProfileWriter(args.profile))
+    observer = MultiObserver(*observers) if observers else None
+
+    config = (
+        ("home_buffer_capacity", args.buffer),
+        ("use_reqreply", not args.no_reqreply),
+        ("reserve_progress_buffer", not args.no_progress_buffer),
+    )
+    spec = SystemSpec(protocol=args.protocol, level=args.level,
+                      n_remotes=args.nodes,
+                      config=config if args.level == "async" else (),
+                      symmetry=args.symmetry)
+    if args.parallel or args.workers is not None:
+        result = explore_parallel(spec, workers=args.workers,
+                                  max_states=args.budget,
+                                  max_seconds=args.timeout,
+                                  store=args.store, observer=observer)
+    else:
+        result = explore(build_system(spec),
+                         name=f"{args.protocol}-{args.level}-{args.nodes}",
+                         max_states=args.budget, max_seconds=args.timeout,
+                         store=args.store, observer=observer)
+    print(result.describe())
+    if args.profile:
+        print(f"[profile written to {args.profile}]")
+    return 0 if result.completed else 1
 
 
 def cmd_lint(args) -> int:
@@ -284,6 +328,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="explore one representative per remote-permutation "
                         "orbit (identical-remote symmetry reduction)")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "check", help="raw reachability sweep with performance knobs",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="examples:\n"
+               "  repro check migratory --level async -n 3 --levels\n"
+               "      per-level progress lines on stderr\n"
+               "  repro check migratory --level async -n 4 "
+               "--store fingerprint\n"
+               "      hash-compacted visited set (collision-counted)\n"
+               "  repro check invalidate --level async -n 3 --parallel "
+               "--profile out.json\n"
+               "      multi-process sweep + JSON run profile")
+    common(p)
+    p.add_argument("--level", choices=["rendezvous", "async"],
+                   default="rendezvous")
+    p.add_argument("--store", choices=list(STORE_NAMES), default="exact",
+                   help="visited-state store: exact (traces, default) or "
+                        "fingerprint (SPIN-style hash compaction)")
+    p.add_argument("--profile", metavar="PATH", default=None,
+                   help="write a per-level JSON run profile "
+                        "(schema repro.profile/1)")
+    p.add_argument("--levels", action="store_true",
+                   help="print one progress line per BFS level")
+    p.add_argument("--parallel", action="store_true",
+                   help="expand frontiers across a process pool")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker process count (implies --parallel; "
+                        "default: cpu count - 1)")
+    p.add_argument("--symmetry", action="store_true",
+                   help="explore one representative per remote-permutation "
+                        "orbit")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
         "lint", help="run the static-analysis suite",

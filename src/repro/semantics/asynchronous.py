@@ -104,6 +104,16 @@ class BufEntry:
     payload: Value = None
     note: bool = False  # fire-and-forget entry: cannot be nacked or evicted
 
+    def canonical_key(self) -> tuple:
+        return (self.sender, self.msg, self.payload, self.note)
+
+    def __getstate__(self) -> tuple:
+        return (self.sender, self.msg, self.payload, self.note)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(("sender", "msg", "payload", "note"), state):
+            object.__setattr__(self, name, value)
+
     def describe(self) -> str:
         who = "h" if self.sender == HOME_ID else f"r{self.sender}"
         tag = "~" if self.note else ""
@@ -125,6 +135,21 @@ class HomeNode:
     pending_out: Optional[int] = None
     buffer: tuple[BufEntry, ...] = ()
 
+    _FIELDS = ("state", "env", "mode", "out_idx", "awaiting",
+               "pending_out", "buffer")
+
+    def canonical_key(self) -> tuple:
+        return (self.state, self.env.canonical_key(), self.mode,
+                self.out_idx, self.awaiting, self.pending_out,
+                tuple(e.canonical_key() for e in self.buffer))
+
+    def __getstate__(self) -> tuple:
+        return tuple(getattr(self, name) for name in self._FIELDS)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(self._FIELDS, state):
+            object.__setattr__(self, name, value)
+
     def describe(self) -> str:
         tag = self.state if self.mode == IDLE else \
             f"{self.state}→r{self.awaiting}?"
@@ -142,6 +167,20 @@ class RemoteNode:
     pending_out: Optional[int] = None
     buf: Optional[BufEntry] = None
 
+    _FIELDS = ("state", "env", "mode", "pending_out", "buf")
+
+    def canonical_key(self) -> tuple:
+        return (self.state, self.env.canonical_key(), self.mode,
+                self.pending_out,
+                None if self.buf is None else self.buf.canonical_key())
+
+    def __getstate__(self) -> tuple:
+        return tuple(getattr(self, name) for name in self._FIELDS)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(self._FIELDS, state):
+            object.__setattr__(self, name, value)
+
     def describe(self) -> str:
         tag = self.state if self.mode == IDLE else f"{self.state}*"
         return tag + (f"{{{self.buf.describe()}}}" if self.buf else "")
@@ -149,11 +188,41 @@ class RemoteNode:
 
 @dataclass(frozen=True)
 class AsyncState:
-    """Global asynchronous state: all nodes plus the network."""
+    """Global asynchronous state: all nodes plus the network.
+
+    Hashed once per instance (see :class:`~repro.semantics.state.RvState`
+    for the rationale): asynchronous states are deeply nested, and
+    recomputing the structural hash on every visited-set probe dominated
+    exploration profiles.  The cache is an ordinary attribute, invisible
+    to ``==``/``replace`` and deliberately dropped by the compact
+    ``__getstate__`` — a cached hash computed under one process's string
+    hash seed is poison in another's dictionaries.
+    """
 
     home: HomeNode
     remotes: tuple[RemoteNode, ...]
     channels: Channels
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash_cache")
+        if cached is None:
+            cached = hash((self.home, self.remotes, self.channels))
+            object.__setattr__(self, "_hash_cache", cached)
+        return int(cached)
+
+    def canonical_key(self) -> tuple:
+        """Compact primitive encoding for fingerprinting (see
+        :mod:`repro.check.store`)."""
+        return ("async", self.home.canonical_key(),
+                tuple(r.canonical_key() for r in self.remotes),
+                self.channels.canonical_key())
+
+    def __getstate__(self) -> tuple:
+        return (self.home, self.remotes, self.channels)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(("home", "remotes", "channels"), state):
+            object.__setattr__(self, name, value)
 
     def with_home(self, home: HomeNode) -> "AsyncState":
         return replace(self, home=home)

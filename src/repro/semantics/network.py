@@ -47,6 +47,16 @@ class Msg:
     msg: Optional[str] = None
     payload: Value = None
 
+    def canonical_key(self) -> tuple:
+        return (self.kind, self.msg, self.payload)
+
+    def __getstate__(self) -> tuple:
+        return (self.kind, self.msg, self.payload)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(("kind", "msg", "payload"), state):
+            object.__setattr__(self, name, value)
+
     def describe(self) -> str:
         if self.kind in (ACK, NACK):
             return self.kind.lower()
@@ -65,6 +75,18 @@ class Channels:
     """
 
     queues: tuple[tuple[Msg, ...], ...]
+
+    def canonical_key(self) -> tuple:
+        return tuple(tuple(m.canonical_key() for m in queue)
+                     for queue in self.queues)
+
+    def __getstate__(self) -> tuple:
+        # 1-tuple wrapper: pickle skips __setstate__ for falsy state, and
+        # an empty network's queue tuple is exactly that.
+        return (self.queues,)
+
+    def __setstate__(self, state: tuple) -> None:
+        object.__setattr__(self, "queues", state[0])
 
     @classmethod
     def empty(cls, n_remotes: int) -> "Channels":

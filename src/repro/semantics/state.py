@@ -35,6 +35,18 @@ class ProcState:
     def moved(self, state: str, env: Env | None = None) -> "ProcState":
         return ProcState(state=state, env=self.env if env is None else env)
 
+    def canonical_key(self) -> tuple:
+        """Compact primitive encoding for fingerprinting (see
+        :mod:`repro.check.store`)."""
+        return (self.state, self.env.canonical_key())
+
+    def __getstate__(self) -> tuple:
+        return (self.state, self.env)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(("state", "env"), state):
+            object.__setattr__(self, name, value)
+
     def describe(self) -> str:
         if len(self.env) == 0:
             return self.state
@@ -44,10 +56,38 @@ class ProcState:
 
 @dataclass(frozen=True)
 class RvState:
-    """Global state of the rendezvous-level transition system."""
+    """Global state of the rendezvous-level transition system.
+
+    Hashed once per instance: the model checker's visited set probes each
+    state many times, and the structural hash over nested dataclasses is
+    the hot path.  The cache is an ordinary attribute (not a field), so
+    it is invisible to ``==``/``replace`` and dropped on pickling —
+    cached hashes must never cross a process boundary, where the string
+    hash seed differs.
+    """
 
     home: ProcState
     remotes: tuple[ProcState, ...]
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash_cache")
+        if cached is None:
+            cached = hash((self.home, self.remotes))
+            object.__setattr__(self, "_hash_cache", cached)
+        return int(cached)
+
+    def canonical_key(self) -> tuple:
+        """Compact primitive encoding for fingerprinting (see
+        :mod:`repro.check.store`)."""
+        return ("rv", self.home.canonical_key(),
+                tuple(r.canonical_key() for r in self.remotes))
+
+    def __getstate__(self) -> tuple:
+        return (self.home, self.remotes)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(("home", "remotes"), state):
+            object.__setattr__(self, name, value)
 
     @property
     def n_remotes(self) -> int:

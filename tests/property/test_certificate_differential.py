@@ -80,6 +80,7 @@ class TestAgreementOnMutants:
         refined = refine(protocol)
         table = build_step_table(refined)
         specs = list(table)
+        assume(specs)
         spec = specs[data.draw(st.integers(0, len(specs) - 1),
                                label="row")]
         process = (refined.protocol.home if spec.role == "home"
@@ -108,6 +109,7 @@ class TestAgreementOnMutants:
         refined = refine(protocol)
         table = build_step_table(refined)
         specs = list(table)
+        assume(specs)
         spec = specs[data.draw(st.integers(0, len(specs) - 1),
                                label="row")]
         process = (refined.protocol.home if spec.role == "home"

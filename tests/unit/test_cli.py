@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -103,6 +105,62 @@ class TestMscOption:
                      "--msc", "6"]) == 0
         out = capsys.readouterr().out
         assert "time" in out and "r0" in out
+
+
+class TestCheckCommand:
+    def test_rendezvous_ok(self, capsys):
+        assert main(["check", "migratory", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "34 states" in out and "[complete]" in out
+
+    def test_fingerprint_store_reported(self, capsys):
+        assert main(["check", "migratory", "-n", "2",
+                     "--store", "fingerprint"]) == 0
+        assert "fingerprint store" in capsys.readouterr().out
+
+    def test_budget_unfinished_nonzero_exit(self, capsys):
+        code = main(["check", "migratory", "--level", "async",
+                     "-n", "3", "--budget", "500"])
+        assert code == 1
+        assert "UNFINISHED (state budget 500 exceeded)" \
+            in capsys.readouterr().out
+
+    def test_levels_flag_renders_progress(self, capsys):
+        assert main(["check", "migratory", "-n", "2", "--levels"]) == 0
+        err = capsys.readouterr().err
+        assert "exploring migratory-rendezvous-2" in err
+        assert "level   0" in err and "done:" in err
+
+    def test_profile_written(self, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        assert main(["check", "migratory", "-n", "2",
+                     "--profile", str(path)]) == 0
+        assert f"profile written to {path}" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.profile/1"
+        assert doc["result"]["completed"] is True
+        assert sum(lvl["new_states"] for lvl in doc["levels"]) + 1 \
+            == doc["result"]["n_states"]
+        assert sum(lvl["candidates"] for lvl in doc["levels"]) \
+            == doc["result"]["n_transitions"]
+
+    def test_parallel_matches_sequential(self, tmp_path, capsys):
+        seq = tmp_path / "seq.json"
+        par = tmp_path / "par.json"
+        assert main(["check", "migratory", "-n", "3",
+                     "--profile", str(seq)]) == 0
+        assert main(["check", "migratory", "-n", "3", "--parallel",
+                     "--workers", "2", "--profile", str(par)]) == 0
+        seq_doc = json.loads(seq.read_text())
+        par_doc = json.loads(par.read_text())
+        for key in ("n_states", "n_transitions", "deadlocks", "stop_reason"):
+            assert par_doc["result"][key] == seq_doc["result"][key]
+        assert par_doc["run"]["workers"] == 2
+
+    def test_unknown_store_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "migratory",
+                                       "--store", "bloom"])
 
 
 class TestTable3Command:

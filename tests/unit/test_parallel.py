@@ -8,6 +8,7 @@ from repro.check.parallel import (
     build_system,
     explore_parallel,
     register_factory,
+    shippable_spec,
 )
 
 
@@ -79,4 +80,71 @@ class TestParallelMatchesSequential:
         spec = SystemSpec("migratory", "async", 3, symmetry=True)
         sequential = explore(build_system(spec))
         parallel = explore_parallel(spec, workers=2, fanout_threshold=8)
+        assert parallel.n_states == sequential.n_states
+
+    def test_truncated_counts_identical(self):
+        # the historical divergence: budgets used to be checked per level,
+        # so a parallel run overshot max_states by up to a whole frontier
+        spec = SystemSpec("migratory", "async", 3)
+        for budget in (50, 123, 500):
+            sequential = explore(build_system(spec), max_states=budget)
+            parallel = explore_parallel(spec, workers=2, max_states=budget,
+                                        fanout_threshold=8, chunk_size=32)
+            assert parallel.n_states == sequential.n_states
+            assert parallel.n_transitions == sequential.n_transitions
+            assert parallel.deadlock_count == sequential.deadlock_count
+            assert parallel.stop_reason == sequential.stop_reason
+
+    def test_parallel_reports_memory(self):
+        result = explore_parallel(SystemSpec("migratory", "rendezvous", 3),
+                                  workers=2, fanout_threshold=4, chunk_size=8)
+        assert result.approx_bytes > 0
+
+    def test_fingerprint_store_in_parallel(self):
+        spec = SystemSpec("migratory", "rendezvous", 3)
+        result = explore_parallel(spec, workers=2, fanout_threshold=4,
+                                  chunk_size=8, store="fingerprint")
+        assert result.store == "fingerprint"
+        assert result.fingerprint_collisions == 0
+        assert result.n_states == explore(build_system(spec)).n_states
+
+
+class TestSpawnWorkers:
+    """Registered factories must reach workers under the spawn start method.
+
+    ``spawn`` workers inherit nothing from the parent, so the in-process
+    ``_EXTRA_FACTORIES`` registry is empty there; the regression fixed
+    here is that the factory's ``module:function`` path now rides inside
+    the SystemSpec and is resolved by import on the worker side.
+    """
+
+    def test_registered_path_is_shipped(self):
+        from repro.protocols.migratory import migratory_protocol
+        register_factory("spawn-migratory", migratory_protocol)
+        spec = shippable_spec(SystemSpec("spawn-migratory", "rendezvous", 2))
+        assert spec.factory == "repro.protocols.migratory:migratory_protocol"
+
+    def test_lambda_factory_has_no_path(self):
+        from repro.protocols.migratory import migratory_protocol
+        register_factory("spawn-lambda", lambda: migratory_protocol())
+        spec = shippable_spec(SystemSpec("spawn-lambda", "rendezvous", 2))
+        assert spec.factory is None  # still fine in-process / under fork
+
+    def test_registered_factory_under_spawn(self):
+        from repro.protocols.migratory import migratory_protocol
+        register_factory("spawn-migratory", migratory_protocol)
+        spec = SystemSpec("spawn-migratory", "rendezvous", 2)
+        sequential = explore(build_system(spec))
+        parallel = explore_parallel(spec, workers=2, fanout_threshold=1,
+                                    chunk_size=4, start_method="spawn")
+        assert parallel.n_states == sequential.n_states
+        assert parallel.n_transitions == sequential.n_transitions
+
+    def test_explicit_factory_path_under_spawn(self):
+        spec = SystemSpec(
+            "anything", "rendezvous", 2,
+            factory="repro.protocols.invalidate:invalidate_protocol")
+        sequential = explore(build_system(spec))
+        parallel = explore_parallel(spec, workers=2, fanout_threshold=1,
+                                    chunk_size=4, start_method="spawn")
         assert parallel.n_states == sequential.n_states

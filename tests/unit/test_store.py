@@ -1,0 +1,139 @@
+"""Unit tests for the pluggable visited-state stores (repro.check.store)."""
+
+import pickle
+
+import pytest
+
+from repro.check.store import (
+    ExactStore,
+    FingerprintStore,
+    canonical,
+    fingerprint,
+    make_store,
+)
+from repro.csp.env import Env
+from repro.semantics.state import ProcState, RvState
+
+
+class TestMakeStore:
+    def test_by_name(self):
+        assert isinstance(make_store("exact"), ExactStore)
+        assert isinstance(make_store("fingerprint"), FingerprintStore)
+
+    def test_default_is_exact(self):
+        assert make_store().name == "exact"
+
+    def test_instance_passthrough(self):
+        store = FingerprintStore(bits=16)
+        assert make_store(store) is store
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown store"):
+            make_store("bloom")
+
+
+class TestExactStore:
+    def test_add_dedups(self):
+        store = ExactStore()
+        assert store.add("a") and not store.add("a")
+        assert len(store) == 1 and "a" in store
+
+    def test_parent_pointers_support_traces(self):
+        store = ExactStore()
+        store.add("root", None)
+        store.add("child", ("root", "step"))
+        assert store.supports_traces
+        assert store.parent_of("root") is None
+        assert store.parent_of("child") == ("root", "step")
+
+    def test_no_collisions_ever(self):
+        store = ExactStore()
+        for i in range(1000):
+            store.add(i)
+        assert store.collisions == 0
+
+    def test_approx_bytes_counts_parent_payloads(self):
+        bare, with_parents = ExactStore(), ExactStore()
+        bare.add("s0", None)
+        with_parents.add("s0", None)
+        for i in range(1, 50):
+            bare.add(f"s{i}", None)
+            with_parents.add(f"s{i}", (f"s{i - 1}", ("some", "action", i)))
+        assert with_parents.approx_bytes() > bare.approx_bytes()
+
+    def test_empty_store_is_zero_bytes(self):
+        assert ExactStore().approx_bytes() == 0
+
+
+class TestFingerprintStore:
+    def test_add_dedups_without_keeping_states(self):
+        store = FingerprintStore()
+        assert store.add("a") and not store.add("a")
+        assert len(store) == 1 and "a" in store
+        assert not store.supports_traces
+        with pytest.raises(KeyError):
+            store.parent_of("a")
+
+    def test_no_collisions_on_distinct_small_space(self):
+        store = FingerprintStore()
+        for i in range(10_000):
+            assert store.add(i)
+        assert store.collisions == 0
+        assert len(store) == 10_000
+
+    def test_truncated_bits_detect_collisions(self):
+        # 8-bit primary fingerprints collide for sure across 1000 states;
+        # the independent check hash must notice (and count) them.
+        store = FingerprintStore(bits=8)
+        for i in range(1000):
+            store.add(i)
+        assert len(store) <= 256
+        assert store.collisions >= 1000 - 256
+
+    def test_bits_validated(self):
+        with pytest.raises(ValueError):
+            FingerprintStore(bits=0)
+        with pytest.raises(ValueError):
+            FingerprintStore(bits=65)
+
+    def test_approx_bytes_far_below_exact(self):
+        exact, compact = ExactStore(), FingerprintStore()
+        for i in range(2000):
+            state = (("a" * 50, i), ("b" * 50, i), i)
+            exact.add(state, ((("p",) * 20), "action"))
+            compact.add(state)
+        assert compact.approx_bytes() < exact.approx_bytes() / 3
+
+
+class TestCanonicalEncoding:
+    def test_plain_hashables_pass_through(self):
+        assert canonical(7) == 7
+        assert canonical(("a", 1)) == ("a", 1)
+
+    def test_frozensets_are_ordered(self):
+        e1 = Env({"S": frozenset(["a", "b", "c"]), "o": None})
+        e2 = Env({"S": frozenset(["c", "a", "b"]), "o": None})
+        p1, p2 = ProcState("s", e1), ProcState("s", e2)
+        assert canonical(p1) == canonical(p2)
+        assert fingerprint(p1) == fingerprint(p2)
+
+    def test_frozenset_distinct_from_tuple(self):
+        assert canonical(frozenset({1})) != canonical((1,))
+
+    def test_fingerprint_is_64_bit_and_stable_across_pickle(self):
+        state = RvState(home=ProcState("h", Env({"o": 2})),
+                        remotes=(ProcState("r", Env()),) * 2)
+        fp = fingerprint(state)
+        assert 0 <= fp < 2 ** 64
+        assert fingerprint(pickle.loads(pickle.dumps(state))) == fp
+
+    def test_salt_gives_independent_fingerprint(self):
+        assert fingerprint("state") != fingerprint("state", salt=b"check")
+
+    def test_distinct_states_distinct_fingerprints(self):
+        # not guaranteed in theory, but 64 bits over a handful of states
+        # colliding would mean the encoding is broken
+        states = [RvState(home=ProcState("h", Env({"o": i})),
+                          remotes=(ProcState("r", Env()),))
+                  for i in range(100)]
+        assert len({fingerprint(s) for s in states}) == 100
