@@ -1,0 +1,129 @@
+"""Diff a regenerated BENCH_explore.json against the committed baseline.
+
+CI regenerates the artifact at the same pinned budget and calls::
+
+    python benchmarks/compare_bench.py baseline.json candidate.json
+
+Exit status 1 when any *deterministic* field drifts more than the
+tolerance (default 25%): state/transition/enabled counts, BFS depth,
+completion flags and the headline reduction ratios.  BFS order is
+deterministic at a fixed budget, so on an unchanged exploration engine
+these fields match exactly; the tolerance is headroom for legitimate
+engine changes, which must ship with a regenerated baseline once they
+exceed it.  Timing fields (``seconds``, ``states_per_sec``) and store
+byte sizes (``approx_bytes`` — Python-version dependent) are reported
+but never fail the diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional
+
+STRICT_FIELDS = ("n_states", "n_transitions", "n_enabled", "depth")
+INFO_FIELDS = ("states_per_sec", "approx_bytes", "seconds")
+
+
+def _key(run: dict[str, Any]) -> tuple:
+    return (run["protocol"], run["n"], run["config"])
+
+
+def _rel_drift(old: float, new: float) -> float:
+    if old == new:
+        return 0.0
+    denom = max(abs(old), abs(new), 1e-9)
+    return abs(new - old) / denom
+
+
+def _compare_runs(section: str, old_runs: list, new_runs: list,
+                  tolerance: float, errors: list, notes: list) -> None:
+    old_by, new_by = ({_key(r): r for r in runs}
+                      for runs in (old_runs, new_runs))
+    if set(old_by) != set(new_by):
+        errors.append(f"{section}: row sets differ: "
+                      f"missing={sorted(set(old_by) - set(new_by))} "
+                      f"extra={sorted(set(new_by) - set(old_by))}")
+        return
+    for key in sorted(old_by):
+        old, new = old_by[key], new_by[key]
+        label = f"{section} {key[0]}-n{key[1]}-{key[2]}"
+        if old["completed"] != new["completed"]:
+            errors.append(f"{label}: completed "
+                          f"{old['completed']} -> {new['completed']}")
+        for field in STRICT_FIELDS:
+            drift = _rel_drift(old[field], new[field])
+            if drift > tolerance:
+                errors.append(f"{label}: {field} {old[field]} -> "
+                              f"{new[field]} ({drift:.1%} > "
+                              f"{tolerance:.0%})")
+        if abs(old["transition_pruning"]
+               - new["transition_pruning"]) > tolerance:
+            errors.append(f"{label}: transition_pruning "
+                          f"{old['transition_pruning']} -> "
+                          f"{new['transition_pruning']}")
+        for field in INFO_FIELDS:
+            drift = _rel_drift(old.get(field, 0), new.get(field, 0))
+            if drift > tolerance:
+                notes.append(f"{label}: {field} {old.get(field)} -> "
+                             f"{new.get(field)} (informational)")
+
+
+def compare(baseline: dict, candidate: dict,
+            tolerance: float = 0.25) -> tuple[list[str], list[str]]:
+    """Return (errors, notes); empty errors means the diff passes."""
+    errors: list[str] = []
+    notes: list[str] = []
+    if candidate.get("schema") != baseline.get("schema"):
+        errors.append(f"schema {baseline.get('schema')} -> "
+                      f"{candidate.get('schema')}")
+        return errors, notes
+    if candidate.get("budget") != baseline.get("budget"):
+        errors.append(f"budget {baseline.get('budget')} -> "
+                      f"{candidate.get('budget')}: budgeted sections are "
+                      "only comparable at equal budgets")
+        return errors, notes
+    _compare_runs("runs", baseline["runs"], candidate["runs"],
+                  tolerance, errors, notes)
+    _compare_runs("headline", baseline["headline"]["runs"],
+                  candidate["headline"]["runs"], tolerance, errors, notes)
+    old_red = baseline["headline"]["reductions"]
+    new_red = candidate["headline"]["reductions"]
+    for name in sorted(set(old_red) | set(new_red)):
+        old_v: Optional[float] = old_red.get(name)
+        new_v = new_red.get(name)
+        if (old_v is None) != (new_v is None):
+            errors.append(f"reductions.{name}: {old_v} -> {new_v}")
+        elif old_v is not None and abs(old_v - new_v) > tolerance:
+            errors.append(f"reductions.{name}: {old_v} -> {new_v}")
+    return errors, notes
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_explore.json")
+    parser.add_argument("candidate", help="regenerated BENCH_explore.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="max relative drift on deterministic fields")
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.candidate) as fh:
+        candidate = json.load(fh)
+    errors, notes = compare(baseline, candidate, args.tolerance)
+    for note in notes:
+        print(f"note: {note}")
+    for error in errors:
+        print(f"FAIL: {error}")
+    if errors:
+        print(f"{len(errors)} deterministic field(s) drifted beyond "
+              f"{args.tolerance:.0%}")
+        return 1
+    print(f"benchmark diff OK ({args.tolerance:.0%} tolerance, "
+          f"{len(notes)} informational note(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ from .observe import (
     RunObserver,
 )
 from .parallel import SystemSpec, build_system, explore_parallel, register_factory
+from .por import PRESERVE_COUNTS, PRESERVE_INVARIANTS, PORSystem
 from .properties import ProgressReport, assert_safe, check_progress, tarjan_sccs
 from .response import ResponseReport, check_response, grant_edge, remote_in_state
 from .simulation import SimulationReport, check_simulation
@@ -25,6 +26,7 @@ __all__ = [
     "SymmetricSystem", "SymmetrySpec", "normalize",
     "ResponseReport", "check_response", "grant_edge", "remote_in_state",
     "SystemSpec", "build_system", "explore_parallel", "register_factory",
+    "PORSystem", "PRESERVE_COUNTS", "PRESERVE_INVARIANTS",
     "StateStore", "ExactStore", "FingerprintStore", "fingerprint",
     "make_store",
     "RunObserver", "RunInfo", "LevelEvent", "NullObserver", "MultiObserver",

@@ -39,7 +39,8 @@ from .observe import LevelEvent, NullObserver, RunInfo, RunObserver
 from .stats import Counterexample, ExplorationResult
 from .store import StateStore, StoreSpec, make_store
 
-__all__ = ["System", "Invariant", "ExplorationCore", "explore"]
+__all__ = ["System", "Invariant", "ExplorationCore", "expand_state",
+           "explore"]
 
 
 class System(Protocol):
@@ -52,6 +53,26 @@ class System(Protocol):
 
 #: An invariant is a named predicate over single states.
 Invariant = tuple[str, Callable[[Any], bool]]
+
+
+def expand_state(system: System,
+                 state: Hashable) -> tuple[list[tuple[Any, Hashable]], int]:
+    """One state's successors plus its full enabled-transition count.
+
+    Reducing systems (:class:`~repro.check.por.PORSystem`, possibly under
+    a :class:`~repro.check.symmetry.SymmetricSystem`) expose ``expand``,
+    returning the pruned successor list next to how many transitions were
+    enabled before pruning; plain systems report ``len(successors)`` for
+    both.  Every driver expands through this helper so the
+    enabled-vs-taken accounting (the per-level reduction ratio) cannot
+    drift between them.
+    """
+    expand = getattr(system, "expand", None)
+    if expand is not None:
+        succs, enabled = expand(state)
+        return succs, int(enabled)
+    succs = system.successors(state)
+    return succs, len(succs)
 
 
 class ExplorationCore:
@@ -70,7 +91,8 @@ class ExplorationCore:
                  observer: Optional[RunObserver] = None,
                  max_states: Optional[int] = None,
                  max_seconds: Optional[float] = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 reductions: tuple[str, ...] = ()) -> None:
         self.name = name
         self.store: StateStore = make_store(store)
         self.observer: RunObserver = (observer if observer is not None
@@ -78,8 +100,12 @@ class ExplorationCore:
         self.max_states = max_states
         self.max_seconds = max_seconds
         self.workers = workers
+        self.reductions = reductions
         self.t0 = time.perf_counter()
         self.n_transitions = 0
+        #: transitions enabled before reduction (== n_transitions when no
+        #: reduction is active)
+        self.n_enabled = 0
         self.deadlock_count = 0
         self.completed = True
         self.stop_reason: Optional[str] = None
@@ -87,7 +113,8 @@ class ExplorationCore:
     def start(self) -> None:
         self.observer.on_start(RunInfo(
             name=self.name, store=self.store.name, workers=self.workers,
-            max_states=self.max_states, max_seconds=self.max_seconds))
+            max_states=self.max_states, max_seconds=self.max_seconds,
+            reductions=self.reductions))
 
     def elapsed(self) -> float:
         return time.perf_counter() - self.t0
@@ -111,13 +138,15 @@ class ExplorationCore:
         self.stop_reason = reason
 
     def level_done(self, level: int, frontier: int, expanded: int,
-                   candidates: int, new_states: int) -> None:
+                   candidates: int, new_states: int,
+                   enabled: Optional[int] = None) -> None:
         self.observer.on_level(LevelEvent(
             level=level, frontier=frontier, expanded=expanded,
             candidates=candidates, new_states=new_states,
             n_states=len(self.store), n_transitions=self.n_transitions,
             deadlocks=self.deadlock_count, collisions=self.store.collisions,
-            approx_bytes=self.store.approx_bytes(), seconds=self.elapsed()))
+            approx_bytes=self.store.approx_bytes(), seconds=self.elapsed(),
+            enabled=candidates if enabled is None else enabled))
 
     def result(self, *, deadlocks: Optional[list[Counterexample]] = None,
                violations: Optional[list[Counterexample]] = None,
@@ -137,6 +166,8 @@ class ExplorationCore:
             approx_bytes=self.store.approx_bytes(),
             store=self.store.name,
             fingerprint_collisions=self.store.collisions,
+            n_enabled=self.n_enabled or self.n_transitions,
+            reductions=self.reductions,
         )
         self.observer.on_finish(outcome)
         return outcome
@@ -154,6 +185,7 @@ def explore(
     allow_deadlock: bool = False,
     store: StoreSpec = "exact",
     observer: Optional[RunObserver] = None,
+    reductions: tuple[str, ...] = (),
 ) -> ExplorationResult:
     """Breadth-first reachability analysis of ``system``.
 
@@ -176,12 +208,16 @@ def explore(
         counterexamples carry only the violating state.
     :param observer: a :class:`~repro.check.observe.RunObserver` receiving
         per-level progress events (see :mod:`repro.check.observe`).
+    :param reductions: names of the state-space reductions baked into
+        ``system`` (e.g. ``("symmetry", "por")``), recorded in the run
+        info and the result for profile provenance.
     :returns: an :class:`~repro.check.stats.ExplorationResult`; never raises
         for budget exhaustion, deadlocks, or violations — callers decide how
         strict to be (:func:`repro.check.properties.assert_safe` raises).
     """
     core = ExplorationCore(name=name, store=store, observer=observer,
-                           max_states=max_states, max_seconds=max_seconds)
+                           max_states=max_states, max_seconds=max_seconds,
+                           reductions=reductions)
     core.start()
     visited = core.store
     init = system.initial_state()
@@ -231,13 +267,15 @@ def explore(
     level_index = 0
     while level:
         next_level: list[Hashable] = []
-        expanded = candidates = new_states = 0
+        expanded = candidates = new_states = enabled = 0
         for state in level:
             if core.should_stop():
                 stopped = True
                 break
-            succs = system.successors(state)
+            succs, n_enabled = expand_state(system, state)
             expanded += 1
+            core.n_enabled += n_enabled
+            enabled += n_enabled
             if graph is not None:
                 graph[state] = succs
             if not succs and not allow_deadlock:
@@ -256,7 +294,7 @@ def explore(
             if stopped:
                 break
         core.level_done(level_index, len(level), expanded, candidates,
-                        new_states)
+                        new_states, enabled)
         level_index += 1
         level = [] if stopped else next_level
 

@@ -9,28 +9,39 @@ consumers the CLI and benchmarks use:
   size, cumulative states, states/sec, dedup ratio, approximate bytes),
   the model checker's analogue of a progress bar;
 * :class:`JsonProfileWriter` records the same events as a JSON document
-  (schema ``repro.profile/1``) for offline analysis and for the CI
+  (schema ``repro.profile/2``) for offline analysis and for the CI
   benchmark artifact.
 
-Profile JSON schema (``repro.profile/1``)::
+Profile JSON schema (``repro.profile/2``)::
 
     {
-      "schema": "repro.profile/1",
+      "schema": "repro.profile/2",
       "run": {"name": ..., "store": "exact"|"fingerprint",
               "workers": int, "max_states": int|null,
-              "max_seconds": float|null},
+              "max_seconds": float|null,
+              "reductions": ["symmetry"?, "por"?]},
       "levels": [ {"level": int, "frontier": int, "expanded": int,
-                   "candidates": int, "new_states": int,
+                   "candidates": int, "enabled": int,
+                   "new_states": int,
                    "n_states": int, "n_transitions": int,
                    "deadlocks": int, "collisions": int,
                    "approx_bytes": int, "seconds": float,
-                   "dedup_ratio": float, "states_per_sec": float}, ... ],
+                   "dedup_ratio": float, "states_per_sec": float,
+                   "reduction_ratio": float}, ... ],
       "result": {"system": str, "store": str, "n_states": int,
-                 "n_transitions": int, "deadlocks": int,
+                 "n_transitions": int, "n_enabled": int,
+                 "reductions": [str, ...], "deadlocks": int,
                  "fingerprint_collisions": int, "seconds": float,
                  "completed": bool, "stop_reason": str|null,
                  "approx_bytes": int}
     }
+
+``/2`` is a strict superset of ``/1``: it *adds* the reduction
+provenance (``run.reductions``, ``result.reductions``), the
+enabled-before-reduction transition counts (``levels[].enabled``,
+``result.n_enabled`` — equal to the taken counts when no reduction is
+active) and the derived ``levels[].reduction_ratio``.  Readers of ``/1``
+documents keep working on ``/2`` unchanged.
 
 ``levels`` includes the partial level in flight when a budget truncates
 the run, so profiles of "Unfinished" cells show exactly where the wall
@@ -60,7 +71,7 @@ __all__ = [
     "PROFILE_SCHEMA",
 ]
 
-PROFILE_SCHEMA = "repro.profile/1"
+PROFILE_SCHEMA = "repro.profile/2"
 
 
 @dataclass(frozen=True)
@@ -72,6 +83,9 @@ class RunInfo:
     workers: int = 1
     max_states: Optional[int] = None
     max_seconds: Optional[float] = None
+    #: active state-space reductions, inner wrapper first (e.g.
+    #: ``("por", "symmetry")``); empty for full exploration
+    reductions: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -100,6 +114,10 @@ class LevelEvent:
     approx_bytes: int
     #: wall-clock seconds since the run started
     seconds: float
+    #: transitions enabled at this level before any reduction pruned
+    #: them (== ``candidates`` when no reduction is active; 0 from
+    #: pre-/2 producers that never measured it)
+    enabled: int = 0
 
     @property
     def dedup_ratio(self) -> float:
@@ -107,6 +125,13 @@ class LevelEvent:
         if self.candidates == 0:
             return 0.0
         return 1.0 - self.new_states / self.candidates
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of enabled transitions pruned by reduction."""
+        if self.enabled <= 0 or self.candidates >= self.enabled:
+            return 0.0
+        return 1.0 - self.candidates / self.enabled
 
     @property
     def states_per_sec(self) -> float:
@@ -183,6 +208,8 @@ class ProgressRenderer:
         if run.max_seconds is not None:
             budget.append(f"max_seconds={run.max_seconds}")
         suffix = f" [{', '.join(budget)}]" if budget else ""
+        if run.reductions:
+            suffix += f" [reductions: {'+'.join(run.reductions)}]"
         print(f"exploring {run.name} (store={run.store}, "
               f"workers={run.workers}){suffix}", file=self.stream)
 
@@ -192,6 +219,8 @@ class ProgressRenderer:
                 f"{event.states_per_sec:8.0f} st/s  "
                 f"dedup {event.dedup_ratio:5.1%}  "
                 f"mem {_fmt_bytes(event.approx_bytes)}")
+        if event.reduction_ratio > 0:
+            line += f"  reduced {event.reduction_ratio:5.1%}"
         if event.collisions:
             line += f"  collisions {event.collisions}"
         if event.expanded < event.frontier:
@@ -228,16 +257,23 @@ class JsonProfileWriter:
             record = asdict(event)
             record["dedup_ratio"] = event.dedup_ratio
             record["states_per_sec"] = event.states_per_sec
+            record["reduction_ratio"] = event.reduction_ratio
             levels.append(record)
+        run: Optional[dict[str, object]] = None
+        if self._run is not None:
+            run = asdict(self._run)
+            run["reductions"] = list(self._run.reductions)
         return {
             "schema": PROFILE_SCHEMA,
-            "run": None if self._run is None else asdict(self._run),
+            "run": run,
             "levels": levels,
             "result": {
                 "system": result.system_name,
                 "store": result.store,
                 "n_states": result.n_states,
                 "n_transitions": result.n_transitions,
+                "n_enabled": result.n_enabled,
+                "reductions": list(result.reductions),
                 "deadlocks": result.deadlock_count,
                 "fingerprint_collisions": result.fingerprint_collisions,
                 "seconds": result.seconds,

@@ -53,7 +53,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Hashable, Iterator, Optional
 
-from .explorer import ExplorationCore, explore
+from .explorer import ExplorationCore, expand_state, explore
 from .observe import RunObserver
 from .stats import ExplorationResult
 from .store import StoreSpec
@@ -82,9 +82,18 @@ class SystemSpec:
     config: tuple[tuple[str, Any], ...] = ()
     symmetry: bool = False
     factory: Optional[str] = None
+    #: ample-set partial-order reduction (async level only; counts-preset
+    #: — ``repro check`` sweeps verify no state predicates)
+    por: bool = False
 
     def config_dict(self) -> dict[str, Any]:
         return dict(self.config)
+
+    def reductions(self) -> tuple[str, ...]:
+        """Active reduction names, in wrapping order (inner first)."""
+        return tuple(name for name, active in
+                     (("por", self.por), ("symmetry", self.symmetry))
+                     if active)
 
 
 #: name -> (callable for this process, importable path for workers)
@@ -171,12 +180,19 @@ def build_system(spec: SystemSpec) -> Any:
                 "module-level factory with register_factory()") from None
     system: Any
     if spec.level == "rendezvous":
+        if spec.por:
+            raise ValueError(
+                "--por prunes asynchronous message interleavings; the "
+                "rendezvous level has none (use --level async)")
         system = RendezvousSystem(protocol, spec.n_remotes)
     elif spec.level == "async":
         refined = refine(protocol, RefinementConfig(**spec.config_dict()))
         system = AsyncSystem(refined, spec.n_remotes)
     else:
         raise ValueError(f"unknown level {spec.level!r}")
+    if spec.por:
+        from .por import PRESERVE_COUNTS, PORSystem
+        system = PORSystem(system, preserve=PRESERVE_COUNTS)
     if spec.symmetry:
         from ..protocols.symmetry import symmetry_spec_for
         from .symmetry import SymmetricSystem
@@ -194,27 +210,29 @@ def _init_worker(spec: SystemSpec) -> None:
     _WORKER_SYSTEM = build_system(spec)
 
 
-def _expand_chunk(states: list[Hashable]) -> list[tuple[int, list[Hashable]]]:
-    """Expand a chunk: per state, (raw successor count, fresh successors).
+def _expand_chunk(states: list[Hashable],
+                  ) -> list[tuple[int, int, list[Hashable]]]:
+    """Expand a chunk: per state, (enabled count, taken count, fresh).
 
     Successors are deduplicated *within the chunk* before pickling them
     back: every chunk input is already in the master's visited set (that
     is how it became frontier), and an earlier occurrence in the same
     chunk reaches the master first, so a duplicate could never be
-    admitted anyway.  The raw count per source state is preserved — the
-    master's transition/deadlock accounting needs it.
+    admitted anyway.  The raw taken count per source state is preserved —
+    the master's transition/deadlock accounting needs it — next to the
+    enabled-before-reduction count feeding the reduction-ratio metric.
     """
     system = _WORKER_SYSTEM
     seen: set[Hashable] = set(states)
-    out: list[tuple[int, list[Hashable]]] = []
+    out: list[tuple[int, int, list[Hashable]]] = []
     for state in states:
-        successors = system.successors(state)
+        successors, enabled = expand_state(system, state)
         fresh: list[Hashable] = []
         for _action, nxt in successors:
             if nxt not in seen:
                 seen.add(nxt)
                 fresh.append(nxt)
-        out.append((len(successors), fresh))
+        out.append((enabled, len(successors), fresh))
     return out
 
 
@@ -255,11 +273,12 @@ def explore_parallel(
         return explore(local_system, name=name, max_states=max_states,
                        max_seconds=max_seconds,
                        allow_deadlock=allow_deadlock,
-                       store=store, observer=observer)
+                       store=store, observer=observer,
+                       reductions=spec.reductions())
 
     core = ExplorationCore(name=name, store=store, observer=observer,
                            max_states=max_states, max_seconds=max_seconds,
-                           workers=workers)
+                           workers=workers, reductions=spec.reductions())
     core.start()
     visited = core.store
     init = local_system.initial_state()
@@ -277,8 +296,8 @@ def explore_parallel(
         level_index = 0
         while level:
             next_level: list[Hashable] = []
-            expanded = candidates = new_states = 0
-            for n_succ, successors in _expansions(
+            expanded = candidates = new_states = enabled = 0
+            for n_enabled, n_succ, successors in _expansions(
                     pool, local_system, level, fanout_threshold, chunk_size):
                 # The replay point: this is where the sequential loop
                 # stands immediately before expanding the same state, so
@@ -288,7 +307,9 @@ def explore_parallel(
                     break
                 expanded += 1
                 core.n_transitions += n_succ
+                core.n_enabled += n_enabled
                 candidates += n_succ
+                enabled += n_enabled
                 if n_succ == 0 and not allow_deadlock:
                     core.deadlock_count += 1
                 for state in successors:
@@ -296,7 +317,7 @@ def explore_parallel(
                         new_states += 1
                         next_level.append(state)
             core.level_done(level_index, len(level), expanded, candidates,
-                            new_states)
+                            new_states, enabled)
             level_index += 1
             level = [] if stopped else next_level
     finally:
@@ -315,8 +336,9 @@ def _expansions(
     level: list[Hashable],
     fanout_threshold: int,
     chunk_size: int,
-) -> Iterator[tuple[int, list[Hashable]]]:
-    """Per-state expansion results for one level, in frontier order.
+) -> Iterator[tuple[int, int, list[Hashable]]]:
+    """Per-state ``(enabled, taken, successors)`` for one level, in
+    frontier order.
 
     Small frontiers are expanded inline (pool overhead would dominate);
     large ones are chunked across the pool.  All chunks are submitted up
@@ -325,8 +347,9 @@ def _expansions(
     """
     if len(level) < fanout_threshold:
         for state in level:
-            successors = local_system.successors(state)
-            yield len(successors), [nxt for _action, nxt in successors]
+            successors, enabled = expand_state(local_system, state)
+            yield enabled, len(successors), [nxt for _action, nxt
+                                             in successors]
         return
     chunks = [level[i:i + chunk_size]
               for i in range(0, len(level), chunk_size)]

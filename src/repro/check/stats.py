@@ -79,10 +79,18 @@ class ExplorationResult:
     #: already visited, i.e. a lower bound on under-exploration.  Always
     #: 0 for exact stores.
     fingerprint_collisions: int = 0
+    #: transitions enabled before reduction pruned them; equals
+    #: ``n_transitions`` when no reduction was active
+    n_enabled: int = 0
+    #: state-space reductions active during the run, inner wrapper
+    #: first (e.g. ``("por", "symmetry")``)
+    reductions: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.deadlocks and self.deadlock_count < len(self.deadlocks):
             self.deadlock_count = len(self.deadlocks)
+        if not self.n_enabled:
+            self.n_enabled = self.n_transitions
 
     @property
     def ok(self) -> bool:
@@ -108,6 +116,11 @@ class ExplorationResult:
         if self.store != "exact":
             extra += (f", {self.store} store"
                       f" ({self.fingerprint_collisions} collision(s))")
+        if self.reductions:
+            extra += f", reductions: {'+'.join(self.reductions)}"
+            if self.n_enabled > self.n_transitions:
+                pruned = 1.0 - self.n_transitions / self.n_enabled
+                extra += f" (pruned {pruned:.1%} of enabled transitions)"
         return (f"{self.system_name}: {self.n_states} states, "
                 f"{self.n_transitions} transitions in {self.seconds:.2f}s "
                 f"[{status}]{extra}")

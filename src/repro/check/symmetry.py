@@ -74,6 +74,20 @@ class SymmetricSystem:
         return [(action, normalize(nxt, self.spec))
                 for action, nxt in self.inner.successors(state)]
 
+    def expand(self, state: Union[RvState, AsyncState],
+               ) -> tuple[list[tuple[Any, Union[RvState, AsyncState]]], int]:
+        """Successors plus the inner system's enabled count (forwarded
+        from a reducing inner system such as
+        :class:`~repro.check.por.PORSystem`)."""
+        inner_expand = getattr(self.inner, "expand", None)
+        if inner_expand is not None:
+            succs, enabled = inner_expand(state)
+        else:
+            succs = self.inner.successors(state)
+            enabled = len(succs)
+        return ([(action, normalize(nxt, self.spec))
+                 for action, nxt in succs], enabled)
+
 
 def normalize(state: Union[RvState, AsyncState],
               spec: SymmetrySpec) -> Union[RvState, AsyncState]:

@@ -105,6 +105,7 @@ def _config(args) -> RefinementConfig:
 
 
 def cmd_verify(args) -> int:
+    _reject_rendezvous_por(args)
     protocol = _build(args.protocol)
     invariants = list(coherence_invariants(SPECS[args.protocol]))
     if args.level == "rendezvous":
@@ -114,13 +115,20 @@ def cmd_verify(args) -> int:
         invariants += async_structural_invariants(args.buffer)
         system = AsyncSystem(refined, args.nodes)
     base_system = system
+    reductions = []
+    if args.por:
+        from .check.por import PRESERVE_INVARIANTS, PORSystem
+        system = PORSystem(system, preserve=PRESERVE_INVARIANTS)
+        reductions.append("por")
     if args.symmetry:
         from .check.symmetry import SymmetricSystem
         from .protocols.symmetry import symmetry_spec_for
         system = SymmetricSystem(system, symmetry_spec_for(args.protocol))
+        reductions.append("symmetry")
     result = explore(system, name=f"{args.protocol}-{args.level}-{args.nodes}",
                      invariants=invariants, max_states=args.budget,
-                     max_seconds=args.timeout)
+                     max_seconds=args.timeout,
+                     reductions=tuple(reductions))
     print(result.describe())
     for violation in result.violations:
         print(violation.describe())
@@ -133,9 +141,18 @@ def cmd_verify(args) -> int:
     return 0 if result.ok else 1
 
 
+def _reject_rendezvous_por(args) -> None:
+    if args.por and args.level == "rendezvous":
+        raise SystemExit(
+            "--por prunes asynchronous message interleavings; the "
+            "rendezvous level has none (use --level async, or drop --por)")
+
+
 def cmd_check(args) -> int:
     from .check.observe import JsonProfileWriter, MultiObserver, ProgressRenderer
     from .check.parallel import SystemSpec, build_system, explore_parallel
+
+    _reject_rendezvous_por(args)
 
     observers = []
     if args.levels:
@@ -152,7 +169,7 @@ def cmd_check(args) -> int:
     spec = SystemSpec(protocol=args.protocol, level=args.level,
                       n_remotes=args.nodes,
                       config=config if args.level == "async" else (),
-                      symmetry=args.symmetry)
+                      symmetry=args.symmetry, por=args.por)
     if args.parallel or args.workers is not None:
         result = explore_parallel(spec, workers=args.workers,
                                   max_states=args.budget,
@@ -162,7 +179,8 @@ def cmd_check(args) -> int:
         result = explore(build_system(spec),
                          name=f"{args.protocol}-{args.level}-{args.nodes}",
                          max_states=args.budget, max_seconds=args.timeout,
-                         store=args.store, observer=observer)
+                         store=args.store, observer=observer,
+                         reductions=spec.reductions())
     print(result.describe())
     if args.profile:
         print(f"[profile written to {args.profile}]")
@@ -327,6 +345,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--symmetry", action="store_true",
                    help="explore one representative per remote-permutation "
                         "orbit (identical-remote symmetry reduction)")
+    p.add_argument("--por", action="store_true",
+                   help="ample-set partial-order reduction (async level "
+                        "only; invariant-preserving preset)")
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(
@@ -349,7 +370,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "fingerprint (SPIN-style hash compaction)")
     p.add_argument("--profile", metavar="PATH", default=None,
                    help="write a per-level JSON run profile "
-                        "(schema repro.profile/1)")
+                        "(schema repro.profile/2; records active "
+                        "reductions and per-level reduction ratios)")
     p.add_argument("--levels", action="store_true",
                    help="print one progress line per BFS level")
     p.add_argument("--parallel", action="store_true",
@@ -360,6 +382,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--symmetry", action="store_true",
                    help="explore one representative per remote-permutation "
                         "orbit")
+    p.add_argument("--por", action="store_true",
+                   help="ample-set partial-order reduction (async level "
+                        "only)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(

@@ -83,6 +83,7 @@ __all__ = [
     "RemoteTau",
     "AsyncAction",
     "Step",
+    "StepFootprint",
     "AsyncSystem",
 ]
 
@@ -139,9 +140,16 @@ class HomeNode:
                "pending_out", "buffer")
 
     def canonical_key(self) -> tuple:
-        return (self.state, self.env.canonical_key(), self.mode,
-                self.out_idx, self.awaiting, self.pending_out,
-                tuple(e.canonical_key() for e in self.buffer))
+        # Memoized like AsyncState.__hash__: store probes recompute the
+        # key on every lookup, and the cache lives outside _FIELDS so the
+        # compact __getstate__ never pickles it.
+        cached = self.__dict__.get("_key_cache")
+        if cached is None:
+            cached = (self.state, self.env.canonical_key(), self.mode,
+                      self.out_idx, self.awaiting, self.pending_out,
+                      tuple(e.canonical_key() for e in self.buffer))
+            object.__setattr__(self, "_key_cache", cached)
+        return cached
 
     def __getstate__(self) -> tuple:
         return tuple(getattr(self, name) for name in self._FIELDS)
@@ -170,9 +178,13 @@ class RemoteNode:
     _FIELDS = ("state", "env", "mode", "pending_out", "buf")
 
     def canonical_key(self) -> tuple:
-        return (self.state, self.env.canonical_key(), self.mode,
-                self.pending_out,
-                None if self.buf is None else self.buf.canonical_key())
+        cached = self.__dict__.get("_key_cache")
+        if cached is None:
+            cached = (self.state, self.env.canonical_key(), self.mode,
+                      self.pending_out,
+                      None if self.buf is None else self.buf.canonical_key())
+            object.__setattr__(self, "_key_cache", cached)
+        return cached
 
     def __getstate__(self) -> tuple:
         return tuple(getattr(self, name) for name in self._FIELDS)
@@ -212,10 +224,20 @@ class AsyncState:
 
     def canonical_key(self) -> tuple:
         """Compact primitive encoding for fingerprinting (see
-        :mod:`repro.check.store`)."""
-        return ("async", self.home.canonical_key(),
-                tuple(r.canonical_key() for r in self.remotes),
-                self.channels.canonical_key())
+        :mod:`repro.check.store`).
+
+        Memoized exactly like ``__hash__`` — the fingerprint store calls
+        this on every probe, and rebuilding the nested key tuple used to
+        dominate its profiles.  ``__getstate__`` keeps the cache out of
+        pickles.
+        """
+        cached = self.__dict__.get("_key_cache")
+        if cached is None:
+            cached = ("async", self.home.canonical_key(),
+                      tuple(r.canonical_key() for r in self.remotes),
+                      self.channels.canonical_key())
+            object.__setattr__(self, "_key_cache", cached)
+        return cached
 
     def __getstate__(self) -> tuple:
         return (self.home, self.remotes, self.channels)
@@ -228,9 +250,8 @@ class AsyncState:
         return replace(self, home=home)
 
     def with_remote(self, i: int, node: RemoteNode) -> "AsyncState":
-        remotes = list(self.remotes)
-        remotes[i] = node
-        return replace(self, remotes=tuple(remotes))
+        remotes = self.remotes[:i] + (node,) + self.remotes[i + 1:]
+        return replace(self, remotes=remotes)
 
     def with_channels(self, channels: Channels) -> "AsyncState":
         return replace(self, channels=channels)
@@ -324,6 +345,35 @@ AsyncAction = (DeliverToHome | DeliverToRemote | HomeStep | HomeTau
 
 
 @dataclass(frozen=True)
+class StepFootprint:
+    """The (node, channel, buffer-slot) objects one step touches.
+
+    This is the independence interface the partial-order reduction in
+    :mod:`repro.check.por` builds on: two steps whose footprints are
+    disjoint commute.  Channels are split into *head* (pop side) and
+    *tail* (push side) objects — popping the head of a non-empty FIFO
+    commutes with pushing its tail, which is what makes deliveries
+    independent of the sends feeding the same channel.
+
+    :param owner: which node class the action belongs to — ``HOME_ID``
+        for home decisions/taus and deliveries *to* home, the remote
+        index for everything touching remote ``i``.
+    :param writes: field-level write set, as ``("h", field)`` for home
+        fields and ``("r", i, field)`` for remote ``i``'s fields
+        (``buf`` is the remote's single buffer slot; ``buffer`` the
+        home's k-slot buffer).
+    :param pop: ``(channel index, popped message kind)`` for deliveries,
+        ``None`` otherwise.
+    :param pushes: channel indices receiving a message, in send order.
+    """
+
+    owner: ProcId
+    writes: frozenset[tuple]
+    pop: Optional[tuple[int, str]]
+    pushes: tuple[int, ...]
+
+
+@dataclass(frozen=True)
 class Step:
     """One enabled transition with its observables.
 
@@ -337,6 +387,48 @@ class Step:
     state: AsyncState
     completes: tuple[RendezvousStep, ...] = ()
     sends: tuple[Msg, ...] = ()
+
+    def footprint(self, origin: AsyncState) -> StepFootprint:
+        """Compute this step's footprint relative to its origin state.
+
+        Writes are obtained by structural field diff of ``origin``
+        against the successor — the semantics layer cannot silently grow
+        an effect the footprint misses.  Channel effects are reported
+        separately (``pop``/``pushes``) because FIFO head and tail are
+        distinct objects for commutation purposes.
+        """
+        action = self.action
+        if isinstance(action, (DeliverToRemote, RemoteSend, RemoteC3,
+                               RemoteTau)):
+            owner: ProcId = action.remote
+        else:
+            owner = HOME_ID
+        pop: Optional[tuple[int, str]] = None
+        if isinstance(action, DeliverToHome):
+            chan = Channels.to_home(action.remote)
+            pop = (chan, origin.channels.queues[chan][0].kind)
+        elif isinstance(action, DeliverToRemote):
+            chan = Channels.to_remote(action.remote)
+            pop = (chan, origin.channels.queues[chan][0].kind)
+        writes: set[tuple] = set()
+        if self.state.home is not origin.home:
+            for name in HomeNode._FIELDS:
+                if getattr(self.state.home, name) != getattr(origin.home,
+                                                             name):
+                    writes.add(("h", name))
+        for i, (old, new) in enumerate(zip(origin.remotes,
+                                           self.state.remotes)):
+            if new is not old:
+                for name in RemoteNode._FIELDS:
+                    if getattr(new, name) != getattr(old, name):
+                        writes.add(("r", i, name))
+        pushes: list[int] = []
+        for c, (old_q, new_q) in enumerate(zip(origin.channels.queues,
+                                               self.state.channels.queues)):
+            base = len(old_q) - (1 if pop is not None and pop[0] == c else 0)
+            pushes.extend([c] * (len(new_q) - base))
+        return StepFootprint(owner=owner, writes=frozenset(writes),
+                             pop=pop, pushes=tuple(pushes))
 
 
 # ---------------------------------------------------------------------------
@@ -388,12 +480,19 @@ class AsyncSystem:
                 out.append(self._deliver_to_home(state, i))
             if state.channels.head_to_remote(i) is not None:
                 out.append(self._deliver_to_remote(state, i))
-        home_step = self._home_decision(state)
-        if home_step is not None:
-            out.append(home_step)
-        out.extend(self._home_taus(state))
+        # One StateDef lookup per node per state; the guard helpers reuse
+        # it instead of re-fetching per decision.
+        if state.home.mode == IDLE:
+            home_def = self.protocol.home.state(state.home.state)
+            home_step = self._home_decision(state, home_def)
+            if home_step is not None:
+                out.append(home_step)
+            out.extend(self._home_taus(state, home_def))
         for i in range(self.n_remotes):
-            out.extend(self._remote_steps(state, i))
+            node = state.remotes[i]
+            if node.mode == IDLE:
+                out.extend(self._remote_steps(
+                    state, i, self.protocol.remote.state(node.state)))
         return out
 
     def successors(self, state: AsyncState) -> list[tuple[AsyncAction, AsyncState]]:
@@ -525,12 +624,13 @@ class AsyncSystem:
 
     # -- home: decisions -------------------------------------------------------
 
-    def _home_decision(self, state: AsyncState) -> Optional[Step]:
-        """Rows C1/C2 of Table 2 plus fused-reply emission (deterministic)."""
-        home = state.home
-        if home.mode != IDLE:
-            return None
-        state_def = self.protocol.home.state(home.state)
+    def _home_decision(self, state: AsyncState,
+                       state_def: StateDef) -> Optional[Step]:
+        """Rows C1/C2 of Table 2 plus fused-reply emission (deterministic).
+
+        The caller guarantees ``home.mode == IDLE`` and passes the home's
+        current :class:`StateDef`.
+        """
         if not state_def.is_communication:
             return None
 
@@ -644,11 +744,9 @@ class AsyncSystem:
                     state=state.with_home(new_home).with_channels(channels),
                     sends=tuple(sends))
 
-    def _home_taus(self, state: AsyncState) -> Iterator[Step]:
+    def _home_taus(self, state: AsyncState,
+                   state_def: StateDef) -> Iterator[Step]:
         home = state.home
-        if home.mode != IDLE:
-            return
-        state_def = self.protocol.home.state(home.state)
         if state_def.is_communication:
             return
         for guard in state_def.taus:
@@ -730,11 +828,9 @@ class AsyncSystem:
 
     # -- remote: decisions -------------------------------------------------------
 
-    def _remote_steps(self, state: AsyncState, i: int) -> Iterator[Step]:
+    def _remote_steps(self, state: AsyncState, i: int,
+                      state_def: StateDef) -> Iterator[Step]:
         node = state.remotes[i]
-        if node.mode != IDLE:
-            return
-        state_def = self.protocol.remote.state(node.state)
         outputs = state_def.outputs
         if outputs:
             guard = outputs[0]  # validated: active states have exactly one

@@ -77,8 +77,14 @@ class Channels:
     queues: tuple[tuple[Msg, ...], ...]
 
     def canonical_key(self) -> tuple:
-        return tuple(tuple(m.canonical_key() for m in queue)
-                     for queue in self.queues)
+        # Memoized (the fingerprint store rebuilds state keys on every
+        # probe); __getstate__ pickles only ``queues``, never the cache.
+        cached = self.__dict__.get("_key_cache")
+        if cached is None:
+            cached = tuple(tuple(m.canonical_key() for m in queue)
+                           for queue in self.queues)
+            object.__setattr__(self, "_key_cache", cached)
+        return cached
 
     def __getstate__(self) -> tuple:
         # 1-tuple wrapper: pickle skips __setstate__ for falsy state, and

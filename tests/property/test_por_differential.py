@@ -1,0 +1,193 @@
+"""Differential soundness of partial-order reduction.
+
+The ample-set argument in :mod:`repro.check.por` is a paper proof; this
+suite machine-checks its consequences.  Full and reduced exploration of
+the same system must agree on everything the reduction promises to
+preserve:
+
+* deadlock existence and exact deadlock-state counts (both presets —
+  ample sets are singletons of enabled steps, so the reduced graph
+  neither hides nor invents terminal states);
+* invariant verdicts under ``preserve="invariants"`` — the coherence and
+  structural predicates hold on the reduced reachable set iff they hold
+  on the full one;
+* progress and response conclusions — ample steps complete no
+  rendezvous, so the completion-labelled SCC analysis survives;
+* and, the point of it all, ``n_states`` never grows.
+
+Library protocols pin the real systems; hypothesis-random protocols
+extend the evidence to the generator's whole specification class, the
+same move :mod:`tests.property.test_random_protocols` makes for the
+refinement theorem itself.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro import AsyncSystem, refine
+from repro.check.explorer import explore
+from repro.check.por import PRESERVE_COUNTS, PRESERVE_INVARIANTS, PORSystem
+from repro.check.properties import check_progress
+from repro.check.response import check_response, grant_edge, remote_in_state
+from repro.check.symmetry import SymmetricSystem
+from repro.errors import ReproError
+from repro.gen import GeneratorParams, random_protocol
+from repro.protocols.invariants import (
+    INVALIDATE_SPEC,
+    MIGRATORY_SPEC,
+    async_structural_invariants,
+    coherence_invariants,
+)
+from repro.protocols.symmetry import symmetry_spec_for
+
+SMALL = GeneratorParams(n_remote_states=3, n_home_states=3,
+                        n_remote_msgs=2, n_home_msgs=2)
+
+lenient = settings(max_examples=15, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow,
+                                          HealthCheck.data_too_large,
+                                          HealthCheck.filter_too_much])
+
+
+@st.composite
+def protocols(draw):
+    seed = draw(st.integers(0, 10_000))
+    return random_protocol(seed, SMALL)
+
+
+def library_systems(migratory_refined, invalidate_refined):
+    return [
+        ("migratory", AsyncSystem(migratory_refined, 2), MIGRATORY_SPEC),
+        ("migratory", AsyncSystem(migratory_refined, 3), MIGRATORY_SPEC),
+        ("invalidate", AsyncSystem(invalidate_refined, 2), INVALIDATE_SPEC),
+    ]
+
+
+class TestLibraryProtocols:
+    def test_deadlocks_and_state_counts(self, migratory_refined,
+                                        invalidate_refined):
+        for _, system, _ in library_systems(migratory_refined,
+                                            invalidate_refined):
+            full = explore(system, allow_deadlock=True)
+            assert full.completed
+            for preserve in (PRESERVE_COUNTS, PRESERVE_INVARIANTS):
+                red = explore(PORSystem(system, preserve=preserve),
+                              allow_deadlock=True)
+                assert red.completed
+                assert red.deadlock_count == full.deadlock_count
+                assert red.n_states <= full.n_states
+                assert red.n_transitions <= full.n_transitions
+
+    def test_invariant_verdicts_agree(self, migratory_refined,
+                                      invalidate_refined):
+        for _name, system, spec in library_systems(migratory_refined,
+                                                   invalidate_refined):
+            invariants = (coherence_invariants(spec)
+                          + async_structural_invariants(system.n_remotes))
+            full = explore(system, invariants=invariants,
+                           allow_deadlock=True)
+            red = explore(PORSystem(system), invariants=invariants,
+                          allow_deadlock=True)
+            assert full.completed and red.completed
+            assert not full.violations  # library protocols are coherent
+            assert not red.violations
+
+    def test_progress_agrees(self, migratory_refined, invalidate_refined):
+        for _, system, _ in library_systems(migratory_refined,
+                                            invalidate_refined):
+            full = check_progress(system, max_states=200_000)
+            red = check_progress(PORSystem(system), max_states=200_000)
+            assert full.completed and red.completed
+            assert red.ok == full.ok
+
+    def test_response_agrees_including_negative_verdict(
+            self, migratory_refined):
+        """Per-remote starvation (migratory n=3, remote 0 requesting) is
+        a *False* response verdict on the full system — the reduced run
+        must reproduce it, and the single-remote True verdict too."""
+        request = lambda s: (s.remotes[0].mode == "trans"  # noqa: E731
+                             and s.remotes[0].state == "I")
+        for n, expected_ok in ((3, False), (1, True)):
+            system = AsyncSystem(migratory_refined, n)
+            for wrapped in (system, PORSystem(system)):
+                report = check_response(wrapped, request=request,
+                                        response=grant_edge(0, {"gr"}),
+                                        max_states=200_000)
+                assert report.completed
+                assert report.n_request_states > 0
+                assert report.ok == expected_ok
+
+    def test_response_helper_predicates_survive_reduction(
+            self, invalidate_refined):
+        system = AsyncSystem(invalidate_refined, 2)
+        request = remote_in_state(0, {"I"})
+        full = check_response(system, request=request,
+                              response=lambda *a: True,
+                              max_states=200_000)
+        red = check_response(PORSystem(system), request=request,
+                             response=lambda *a: True,
+                             max_states=200_000)
+        assert full.completed and red.completed
+        assert red.ok == full.ok
+        assert red.n_request_states > 0
+
+    def test_symmetry_composition_preserves_deadlock_verdict(
+            self, migratory_refined, invalidate_refined):
+        for name, refined in (("migratory", migratory_refined),
+                              ("invalidate", invalidate_refined)):
+            spec = symmetry_spec_for(name)
+            system = AsyncSystem(refined, 3)
+            sym = explore(SymmetricSystem(system, spec),
+                          allow_deadlock=True)
+            sym_por = explore(
+                SymmetricSystem(PORSystem(system,
+                                          preserve=PRESERVE_COUNTS), spec),
+                allow_deadlock=True)
+            assert sym.completed and sym_por.completed
+            assert sym_por.deadlock_count == sym.deadlock_count
+            assert sym_por.n_states <= sym.n_states
+
+
+class TestRandomProtocols:
+    """The reduction argument never consults protocol specifics beyond
+    the step-table schema — so it must hold across the generator's whole
+    class, not just the four library protocols."""
+
+    @lenient
+    @given(protocols())
+    def test_deadlock_and_count_agreement(self, protocol):
+        try:
+            refined = refine(protocol)
+        except ReproError:
+            assume(False)
+        system = AsyncSystem(refined, 2)
+        full = explore(system, max_states=4000, max_seconds=10,
+                       allow_deadlock=True)
+        assume(full.completed)
+        for preserve in (PRESERVE_COUNTS, PRESERVE_INVARIANTS):
+            red = explore(PORSystem(system, preserve=preserve),
+                          allow_deadlock=True, max_states=4000,
+                          max_seconds=10)
+            assert red.completed
+            assert red.deadlock_count == full.deadlock_count
+            assert red.n_states <= full.n_states
+
+    @lenient
+    @given(protocols())
+    def test_structural_invariant_agreement(self, protocol):
+        try:
+            refined = refine(protocol)
+        except ReproError:
+            assume(False)
+        system = AsyncSystem(refined, 2)
+        invariants = async_structural_invariants(2)
+        full = explore(system, invariants=invariants, max_states=4000,
+                       max_seconds=10, allow_deadlock=True,
+                       stop_on_violation=False)
+        assume(full.completed)
+        red = explore(PORSystem(system), invariants=invariants,
+                      max_states=4000, max_seconds=10,
+                      allow_deadlock=True, stop_on_violation=False)
+        assert red.completed
+        full_names = {v.property_name for v in full.violations}
+        red_names = {v.property_name for v in red.violations}
+        assert red_names == full_names

@@ -1,0 +1,114 @@
+"""Driver/store/reduction parity matrix.
+
+:mod:`tests.property.test_explorer_parity` pins byte-identical counts
+between the sequential and parallel drivers on unreduced systems.  The
+reductions must not break that contract: for every cell of
+
+    {sequential, parallel} x {exact, fingerprint}
+        x {symmetry off, on} x {por off, on}
+
+the four driver/store variants of the *same* reduction combination must
+report identical ``n_states``/``n_transitions``/``deadlock_count``/
+``stop_reason`` — including runs truncated mid-level by a state budget,
+where a single out-of-order expansion would shift the counts.  Across
+combinations, reduction only ever shrinks the state count.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check.explorer import explore
+from repro.check.parallel import SystemSpec, build_system, explore_parallel
+
+PROTOCOLS = [("migratory", 2), ("invalidate", 2)]
+REDUCTIONS = [(False, False), (False, True), (True, False), (True, True)]
+
+
+def spec_for(protocol, n, symmetry, por):
+    return SystemSpec(protocol, "async", n, symmetry=symmetry, por=por)
+
+
+def counts(result):
+    return (result.n_states, result.n_transitions, result.deadlock_count,
+            result.completed, result.stop_reason)
+
+
+def variants(spec, **budgets):
+    """The four driver/store runs of one reduction combination."""
+    return {
+        "seq-exact": explore(build_system(spec), name="matrix",
+                             reductions=spec.reductions(), **budgets),
+        "seq-fingerprint": explore(build_system(spec), name="matrix",
+                                   store="fingerprint",
+                                   reductions=spec.reductions(), **budgets),
+        "par-exact": explore_parallel(spec, workers=2, fanout_threshold=4,
+                                      chunk_size=16, **budgets),
+        "par-fingerprint": explore_parallel(spec, workers=2,
+                                            fanout_threshold=4,
+                                            chunk_size=16,
+                                            store="fingerprint", **budgets),
+    }
+
+
+@pytest.mark.parametrize("protocol,n", PROTOCOLS,
+                         ids=[f"{p}-{n}" for p, n in PROTOCOLS])
+class TestFullRuns:
+    def test_all_cells_agree(self, protocol, n):
+        baseline_states = None
+        for symmetry, por in REDUCTIONS:
+            spec = spec_for(protocol, n, symmetry, por)
+            runs = variants(spec)
+            reference = counts(runs["seq-exact"])
+            for name, result in runs.items():
+                assert counts(result) == reference, \
+                    f"{name} diverges on {spec} ({symmetry=}, {por=})"
+                assert result.completed
+            if baseline_states is None:
+                baseline_states = runs["seq-exact"].n_states  # (off, off)
+            assert runs["seq-exact"].n_states <= baseline_states
+
+    def test_reductions_recorded(self, protocol, n):
+        spec = spec_for(protocol, n, symmetry=True, por=True)
+        runs = variants(spec)
+        for result in runs.values():
+            assert result.reductions == ("por", "symmetry")
+            assert result.n_enabled >= result.n_transitions
+
+    def test_por_alone_shrinks_states(self, protocol, n):
+        full = explore(build_system(spec_for(protocol, n, False, False)))
+        por = explore(build_system(spec_for(protocol, n, False, True)))
+        assert por.n_states < full.n_states
+        assert por.deadlock_count == full.deadlock_count
+
+
+class TestTruncatedRuns:
+    """Budget truncation must hit the same wall in every variant."""
+
+    @pytest.mark.parametrize("symmetry,por", REDUCTIONS,
+                             ids=["plain", "por", "sym", "sym+por"])
+    @pytest.mark.parametrize("budget", [50, 200])
+    def test_fixed_budgets(self, symmetry, por, budget):
+        spec = spec_for("migratory", 2, symmetry, por)
+        runs = variants(spec, max_states=budget)
+        reference = counts(runs["seq-exact"])
+        for name, result in runs.items():
+            assert counts(result) == reference, f"{name} diverges"
+        if reference[0] >= budget:
+            assert not runs["seq-exact"].completed
+            assert runs["seq-exact"].stop_reason \
+                == f"state budget {budget} exceeded"
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(budget=st.integers(0, 400),
+           reduction=st.integers(0, len(REDUCTIONS) - 1),
+           proto=st.integers(0, len(PROTOCOLS) - 1))
+    def test_randomized_budgets(self, budget, reduction, proto):
+        symmetry, por = REDUCTIONS[reduction]
+        protocol, n = PROTOCOLS[proto]
+        spec = spec_for(protocol, n, symmetry, por)
+        runs = variants(spec, max_states=budget)
+        reference = counts(runs["seq-exact"])
+        for name, result in runs.items():
+            assert counts(result) == reference, f"{name} diverges"

@@ -137,7 +137,7 @@ class TestCheckCommand:
                      "--profile", str(path)]) == 0
         assert f"profile written to {path}" in capsys.readouterr().out
         doc = json.loads(path.read_text())
-        assert doc["schema"] == "repro.profile/1"
+        assert doc["schema"] == "repro.profile/2"
         assert doc["result"]["completed"] is True
         assert sum(lvl["new_states"] for lvl in doc["levels"]) + 1 \
             == doc["result"]["n_states"]
@@ -161,6 +161,46 @@ class TestCheckCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["check", "migratory",
                                        "--store", "bloom"])
+
+
+class TestPorFlag:
+    def test_check_por_runs(self, capsys):
+        assert main(["check", "migratory", "--level", "async",
+                     "-n", "2", "--por"]) == 0
+        out = capsys.readouterr().out
+        assert "reductions: por" in out and "pruned" in out
+
+    def test_verify_por_runs(self, capsys):
+        assert main(["verify", "migratory", "--level", "async",
+                     "-n", "2", "--por"]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("command", ["check", "verify"])
+    def test_por_rejects_rendezvous_level(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "migratory", "-n", "2", "--por"])
+        assert "rendezvous level has none" in str(excinfo.value)
+
+    def test_profile_records_reductions(self, tmp_path):
+        path = tmp_path / "profile.json"
+        assert main(["check", "migratory", "--level", "async", "-n", "2",
+                     "--symmetry", "--por", "--profile", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["run"]["reductions"] == ["por", "symmetry"]
+        assert doc["result"]["reductions"] == ["por", "symmetry"]
+        assert doc["result"]["n_enabled"] >= doc["result"]["n_transitions"]
+        assert any(lvl["reduction_ratio"] > 0 for lvl in doc["levels"])
+
+    def test_por_shrinks_check_counts(self, capsys):
+        assert main(["check", "invalidate", "--level", "async",
+                     "-n", "2"]) == 0
+        full_out = capsys.readouterr().out
+        assert main(["check", "invalidate", "--level", "async",
+                     "-n", "2", "--por"]) == 0
+        por_out = capsys.readouterr().out
+        full_states = int(full_out.split(" states")[0].rsplit()[-1])
+        por_states = int(por_out.split(" states")[0].rsplit()[-1])
+        assert por_states < full_states
 
 
 class TestTable3Command:

@@ -1,0 +1,120 @@
+"""Unit tests for the CI benchmark diff gate (benchmarks/compare_bench.py).
+
+The script guards the committed ``BENCH_explore.json`` against silent
+exploration-engine regressions; these tests pin what counts as a
+failure (deterministic count drift beyond tolerance, missing rows,
+budget mismatch) and what is informational only (timing, store bytes).
+"""
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    Path(__file__).parent.parent.parent / "benchmarks" / "compare_bench.py")
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def make_doc():
+    run = {
+        "protocol": "migratory", "n": 3, "config": "por",
+        "n_states": 794, "n_transitions": 1806, "n_enabled": 2058,
+        "depth": 34, "completed": True, "transition_pruning": 0.1224,
+        "states_per_sec": 2000, "approx_bytes": 100_000, "seconds": 0.4,
+    }
+    return {
+        "schema": "repro.bench_explore/1",
+        "budget": 4000,
+        "runs": [run],
+        "headline": {
+            "runs": [dict(run)],
+            "reductions": {"migratory_n3_por_vs_full": 0.508},
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        doc = make_doc()
+        errors, notes = compare_bench.compare(doc, copy.deepcopy(doc))
+        assert errors == [] and notes == []
+
+    def test_count_drift_beyond_tolerance_fails(self):
+        base, cand = make_doc(), make_doc()
+        cand["runs"][0]["n_states"] = int(794 * 1.5)
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("n_states" in e for e in errors)
+
+    def test_small_drift_within_tolerance_passes(self):
+        base, cand = make_doc(), make_doc()
+        cand["runs"][0]["n_states"] = int(794 * 1.1)
+        cand["runs"][0]["n_transitions"] = int(1806 * 0.9)
+        errors, _ = compare_bench.compare(base, cand)
+        assert errors == []
+
+    def test_timing_and_bytes_never_fail(self):
+        base, cand = make_doc(), make_doc()
+        cand["runs"][0]["states_per_sec"] = 1
+        cand["runs"][0]["approx_bytes"] = 10
+        cand["runs"][0]["seconds"] = 900.0
+        errors, notes = compare_bench.compare(base, cand)
+        assert errors == []
+        assert notes  # reported, not fatal
+
+    def test_completion_flip_fails(self):
+        base, cand = make_doc(), make_doc()
+        cand["headline"]["runs"][0]["completed"] = False
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("completed" in e for e in errors)
+
+    def test_missing_row_fails(self):
+        base, cand = make_doc(), make_doc()
+        cand["runs"] = []
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("row sets differ" in e for e in errors)
+
+    def test_budget_mismatch_fails_fast(self):
+        base, cand = make_doc(), make_doc()
+        cand["budget"] = 60000
+        errors, _ = compare_bench.compare(base, cand)
+        assert len(errors) == 1 and "budget" in errors[0]
+
+    def test_reduction_ratio_drift_fails(self):
+        base, cand = make_doc(), make_doc()
+        cand["headline"]["reductions"]["migratory_n3_por_vs_full"] = 0.1
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("reductions." in e for e in errors)
+
+    def test_reduction_becoming_unavailable_fails(self):
+        base, cand = make_doc(), make_doc()
+        cand["headline"]["reductions"]["migratory_n3_por_vs_full"] = None
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("reductions." in e for e in errors)
+
+
+class TestMain:
+    def test_cli_pass_and_fail(self, tmp_path, capsys):
+        base, cand = make_doc(), make_doc()
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(base))
+        b.write_text(json.dumps(cand))
+        assert compare_bench.main([str(a), str(b)]) == 0
+        assert "benchmark diff OK" in capsys.readouterr().out
+        cand["runs"][0]["n_enabled"] = 99999
+        b.write_text(json.dumps(cand))
+        assert compare_bench.main([str(a), str(b)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_tolerance_flag(self, tmp_path):
+        base, cand = make_doc(), make_doc()
+        cand["runs"][0]["n_states"] = int(794 * 1.4)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(base))
+        b.write_text(json.dumps(cand))
+        assert compare_bench.main([str(a), str(b)]) == 1
+        assert compare_bench.main([str(a), str(b),
+                                   "--tolerance", "0.5"]) == 0
