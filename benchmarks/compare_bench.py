@@ -1,18 +1,27 @@
-"""Diff a regenerated BENCH_explore.json against the committed baseline.
+"""Diff a regenerated benchmark artifact against the committed baseline.
 
 CI regenerates the artifact at the same pinned budget and calls::
 
     python benchmarks/compare_bench.py baseline.json candidate.json
 
+The comparison dispatches on the document's ``schema`` field:
+
+* ``repro.bench_explore/1`` (``BENCH_explore.json``) — exploration
+  throughput and reduction effectiveness;
+* ``repro.bench_cutoff/1`` (``BENCH_cutoff.json``) — the parameterized
+  (P45xx) static verdict per protocol plus the bounded-exploration
+  cross-check at n = 2..4 and the stabilization cutoff.
+
 Exit status 1 when any *deterministic* field drifts more than the
 tolerance (default 25%): state/transition/enabled counts, BFS depth,
-completion flags and the headline reduction ratios.  BFS order is
-deterministic at a fixed budget, so on an unchanged exploration engine
-these fields match exactly; the tolerance is headroom for legitimate
-engine changes, which must ship with a regenerated baseline once they
-exceed it.  Timing fields (``seconds``, ``states_per_sec``) and store
-byte sizes (``approx_bytes`` — Python-version dependent) are reported
-but never fail the diff.
+deadlock counts, completion flags, verdicts, stabilization cutoffs and
+the headline reduction ratios.  BFS order is deterministic at a fixed
+budget, so on an unchanged exploration engine these fields match
+exactly; the tolerance is headroom for legitimate engine changes, which
+must ship with a regenerated baseline once they exceed it.  Timing
+fields (``seconds``, ``states_per_sec``) and store byte sizes
+(``approx_bytes`` — Python-version dependent) are reported but never
+fail the diff.
 """
 
 from __future__ import annotations
@@ -70,6 +79,55 @@ def _compare_runs(section: str, old_runs: list, new_runs: list,
                              f"{new.get(field)} (informational)")
 
 
+#: per-protocol fields of the cutoff artifact that must match exactly
+CUTOFF_EXACT = ("static_verdict", "discharged", "complete_cover",
+                "n_flows", "n_invariants", "stabilizes_at", "agreement")
+#: per-(protocol, n) exploration fields held to the drift tolerance
+CUTOFF_STRICT = ("n_states", "n_transitions", "deadlocks")
+
+
+def _compare_cutoff(baseline: dict, candidate: dict, tolerance: float,
+                    errors: list, notes: list) -> None:
+    old_by, new_by = ({p["protocol"]: p for p in doc["protocols"]}
+                      for doc in (baseline, candidate))
+    if set(old_by) != set(new_by):
+        errors.append(f"protocols: row sets differ: "
+                      f"missing={sorted(set(old_by) - set(new_by))} "
+                      f"extra={sorted(set(new_by) - set(old_by))}")
+        return
+    for name in sorted(old_by):
+        old, new = old_by[name], new_by[name]
+        for field in CUTOFF_EXACT:
+            if old.get(field) != new.get(field):
+                errors.append(f"{name}: {field} {old.get(field)} -> "
+                              f"{new.get(field)}")
+        old_runs = {r["n"]: r for r in old["exploration"]}
+        new_runs = {r["n"]: r for r in new["exploration"]}
+        if set(old_runs) != set(new_runs):
+            errors.append(f"{name}: exploration sizes differ: "
+                          f"{sorted(old_runs)} -> {sorted(new_runs)}")
+            continue
+        for n in sorted(old_runs):
+            o, c = old_runs[n], new_runs[n]
+            label = f"{name}-n{n}"
+            if o["completed"] != c["completed"]:
+                errors.append(f"{label}: completed "
+                              f"{o['completed']} -> {c['completed']}")
+            if o.get("verdict") != c.get("verdict"):
+                errors.append(f"{label}: verdict {o.get('verdict')} -> "
+                              f"{c.get('verdict')}")
+            for field in CUTOFF_STRICT:
+                drift = _rel_drift(o[field], c[field])
+                if drift > tolerance:
+                    errors.append(f"{label}: {field} {o[field]} -> "
+                                  f"{c[field]} ({drift:.1%} > "
+                                  f"{tolerance:.0%})")
+            drift = _rel_drift(o.get("seconds", 0), c.get("seconds", 0))
+            if drift > tolerance:
+                notes.append(f"{label}: seconds {o.get('seconds')} -> "
+                             f"{c.get('seconds')} (informational)")
+
+
 def compare(baseline: dict, candidate: dict,
             tolerance: float = 0.25) -> tuple[list[str], list[str]]:
     """Return (errors, notes); empty errors means the diff passes."""
@@ -83,6 +141,9 @@ def compare(baseline: dict, candidate: dict,
         errors.append(f"budget {baseline.get('budget')} -> "
                       f"{candidate.get('budget')}: budgeted sections are "
                       "only comparable at equal budgets")
+        return errors, notes
+    if baseline.get("schema") == "repro.bench_cutoff/1":
+        _compare_cutoff(baseline, candidate, tolerance, errors, notes)
         return errors, notes
     _compare_runs("runs", baseline["runs"], candidate["runs"],
                   tolerance, errors, notes)
@@ -102,8 +163,11 @@ def compare(baseline: dict, candidate: dict,
 
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed BENCH_explore.json")
-    parser.add_argument("candidate", help="regenerated BENCH_explore.json")
+    parser.add_argument("baseline", help="committed benchmark artifact "
+                                         "(BENCH_explore.json / "
+                                         "BENCH_cutoff.json)")
+    parser.add_argument("candidate", help="regenerated artifact of the "
+                                          "same schema")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="max relative drift on deterministic fields")
     args = parser.parse_args(argv)

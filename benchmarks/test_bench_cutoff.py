@@ -1,0 +1,160 @@
+"""Experiment (extension): static parameterized verdicts vs exploration.
+
+Writes the repo-level ``BENCH_cutoff.json`` artifact — the committed,
+CI-diffed record of the flow-derived parameterized (P45xx) analysis
+cross-checked against bounded exploration.  For every library protocol:
+
+* the **static verdict** of :func:`repro.analysis.paramcheck
+  .check_parameterized` — flow count, cover completeness, invariant
+  count, and whether deadlock freedom was discharged for arbitrary N;
+* the **exploration verdicts** of the derived asynchronous protocol at
+  n = 2..4 under symmetry + partial-order reduction, at a pinned state
+  budget (``REPRO_BENCH_CUTOFF_BUDGET``, default 60000 — enough to
+  complete every n = 3 instance; n = 4 completes only for migratory and
+  is recorded ``unknown`` elsewhere) so every count is bit-reproducible
+  and CI can diff it (``compare_bench.py``, schema
+  ``repro.bench_cutoff/1``);
+* the **stabilization cutoff** — the smallest n from which every larger
+  explored instance with a known verdict agrees.  The flow argument
+  predicts a cutoff of 2 (every invariant mentions the home plus at
+  most one remote); the exploration column is the empirical check.
+
+The acceptance claims asserted here:
+
+* all four library protocols discharge deadlock freedom for arbitrary N;
+* no disagreement: a discharged protocol never shows a bounded deadlock
+  (zero unsound verdicts at n <= 4);
+* the observed stabilization cutoff is 2, matching the theory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+from conftest import write_report
+
+from repro.analysis.paramcheck import check_parameterized
+from repro.check.explorer import explore
+from repro.check.parallel import SystemSpec, build_system
+from repro.protocols import (
+    invalidate_protocol,
+    mesi_protocol,
+    migratory_protocol,
+    msi_protocol,
+)
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_cutoff.json"
+BENCH_SCHEMA = "repro.bench_cutoff/1"
+
+FACTORIES = {
+    "invalidate": invalidate_protocol,
+    "mesi": mesi_protocol,
+    "migratory": migratory_protocol,
+    "msi": msi_protocol,
+}
+SIZES = (2, 3, 4)
+
+
+@pytest.fixture(scope="module")
+def cutoff_budget() -> int:
+    # pinned independently of REPRO_BENCH_BUDGET: the committed
+    # BENCH_cutoff.json must be reproducible on any machine
+    return int(os.environ.get("REPRO_BENCH_CUTOFF_BUDGET", "60000"))
+
+
+def explore_cell(name: str, n: int, budget: int) -> dict:
+    spec = SystemSpec(name, "async", n, symmetry=True, por=True)
+    t0 = time.perf_counter()
+    result = explore(build_system(spec), name=f"{name}-cutoff-{n}",
+                     max_states=budget, reductions=spec.reductions())
+    seconds = time.perf_counter() - t0
+    if result.deadlocks:
+        verdict = "deadlock"  # definite even on a truncated run
+    elif result.completed:
+        verdict = "no-deadlock"
+    else:
+        verdict = "unknown"
+    return {
+        "n": n,
+        "n_states": result.n_states,
+        "n_transitions": result.n_transitions,
+        "deadlocks": len(result.deadlocks),
+        "completed": result.completed,
+        "verdict": verdict,
+        "seconds": round(seconds, 2),
+    }
+
+
+def stabilizes_at(cells: list[dict]) -> int | None:
+    """Smallest n whose verdict every later *known* verdict repeats."""
+    known = [(c["n"], c["verdict"]) for c in cells
+             if c["verdict"] != "unknown"]
+    if not known:
+        return None
+    final = known[-1][1]
+    cutoff = None
+    for n, verdict in reversed(known):
+        if verdict != final:
+            break
+        cutoff = n
+    return cutoff
+
+
+def test_bench_cutoff(benchmark, results_dir, cutoff_budget):
+    rows = []
+    for name, factory in sorted(FACTORIES.items()):
+        protocol = factory()
+        verdict = check_parameterized(protocol)
+        cells = [explore_cell(name, n, cutoff_budget) for n in SIZES]
+        cutoff = stabilizes_at(cells)
+        bounded_deadlock = any(c["verdict"] == "deadlock" for c in cells)
+        rows.append({
+            "protocol": name,
+            "static_verdict": verdict.verdict,
+            "discharged": verdict.discharged,
+            "complete_cover": verdict.graph.complete,
+            "n_flows": len(verdict.graph.flows),
+            "n_invariants": len(verdict.invariants),
+            "witness_states": verdict.witness_states,
+            "exploration": cells,
+            "stabilizes_at": cutoff,
+            "agreement": not (verdict.discharged and bounded_deadlock),
+        })
+
+    doc = {"schema": BENCH_SCHEMA, "budget": cutoff_budget,
+           "protocols": rows}
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+    # -- human-readable summary ----------------------------------------------
+    lines = ["Parameterized (P45xx) verdict vs bounded exploration "
+             "(async, symmetry+por):", "",
+             f"{'protocol':<12} {'static verdict':<22} {'flows':>6} "
+             f"{'invs':>5} {'cutoff':>7}  exploration n=2..4"]
+    for r in rows:
+        explored = ", ".join(
+            f"n={c['n']}:{c['verdict']}({c['n_states']})"
+            for c in r["exploration"])
+        lines.append(f"{r['protocol']:<12} {r['static_verdict']:<22} "
+                     f"{r['n_flows']:>6} {r['n_invariants']:>5} "
+                     f"{str(r['stabilizes_at']):>7}  {explored}")
+    lines.append("")
+    lines.append("the flow argument predicts a cutoff of 2 (each invariant "
+                 "mentions the home plus at most one remote); 'unknown' "
+                 "cells hit the pinned budget without finding a deadlock.")
+    write_report(results_dir, "cutoff.txt", "\n".join(lines))
+
+    # -- acceptance assertions -----------------------------------------------
+    for r in rows:
+        assert r["discharged"], r["protocol"]
+        assert r["complete_cover"], r["protocol"]
+        assert r["agreement"], f"unsound verdict on {r['protocol']}"
+        assert r["stabilizes_at"] == 2, r["protocol"]
+        # n=2 and n=3 must land in budget with a definite verdict
+        assert all(c["verdict"] == "no-deadlock"
+                   for c in r["exploration"][:2]), r["protocol"]
+
+    benchmark(lambda: check_parameterized(FACTORIES["migratory"]()))

@@ -21,6 +21,10 @@ space is explored.  This subsystem makes that a first-class tool:
   the per-schema simulation obligations (section 4);
 * :mod:`~repro.analysis.simulation` — the certificate checker that
   discharges those obligations against ``abs`` (``P44xx``);
+* :mod:`~repro.analysis.flows` — message-flow derivation from the AST
+  (the transaction shapes between stable home states);
+* :mod:`~repro.analysis.paramcheck` — flow-based parameterized
+  deadlock-freedom verdicts for arbitrary node counts (``P45xx``);
 * :mod:`~repro.analysis.manager` — the pass manager
   (:func:`analyze_protocol` / :func:`analyze_refined`).
 
@@ -37,25 +41,40 @@ from .diagnostics import (
     CodeInfo,
     Diagnostic,
     Severity,
+    expand_codes,
     render_json,
     render_text,
 )
-from .manager import AnalysisContext, analyze_protocol, analyze_refined
+from .flows import Flow, FlowGraph, derive_flows
+from .manager import (
+    AnalysisCache,
+    AnalysisContext,
+    analyze_protocol,
+    analyze_refined,
+)
 from .overlap import patterns_may_overlap
+from .paramcheck import ParamVerdict, check_parameterized
 from .reachability import unreachable_states
 from .simulation import CertificateReport, check_certificate
 
 __all__ = [
     "CODES",
+    "AnalysisCache",
     "AnalysisContext",
     "AnalysisReport",
     "CertificateReport",
     "CodeInfo",
     "Diagnostic",
+    "Flow",
+    "FlowGraph",
+    "ParamVerdict",
     "Severity",
     "analyze_protocol",
     "analyze_refined",
     "check_certificate",
+    "check_parameterized",
+    "derive_flows",
+    "expand_codes",
     "home_buffer_bound",
     "patterns_may_overlap",
     "remote_demand",

@@ -32,6 +32,7 @@ __all__ = [
     "CodeInfo",
     "Diagnostic",
     "Severity",
+    "expand_codes",
     "make",
     "render_json",
     "render_text",
@@ -74,7 +75,8 @@ def _registry(*entries: CodeInfo) -> dict[str, CodeInfo]:
 #: ``P25xx`` structural liveness/reachability findings, ``P32xx`` the
 #: section 3.2/6 buffer-demand analysis, ``P33xx`` the section 3.3
 #: request/reply fusability report, ``P34xx`` transient-state sanity on
-#: refined machines.
+#: refined machines, ``P44xx`` the simulation certificate, ``P45xx`` the
+#: flow-derived parameterized (arbitrary-N) deadlock-freedom analysis.
 CODES: dict[str, CodeInfo] = _registry(
     # -- section 2.4 syntactic restrictions (refinement preconditions) ------
     CodeInfo("P2401", "terminal state", "2.4", Severity.ERROR),
@@ -124,7 +126,47 @@ CODES: dict[str, CodeInfo] = _registry(
     CodeInfo("P4405", "certificate inventory", "4", Severity.INFO),
     CodeInfo("P4406", "certificate incomplete (budget exhausted)", "4",
              Severity.WARNING),
+    # -- parameterized (arbitrary-N) flow analysis --------------------------
+    CodeInfo("P4501", "incomplete flow cover", "flows", Severity.WARNING),
+    CodeInfo("P4502", "flow waits-for cycle (two-flow witness)", "flows",
+             Severity.WARNING),
+    CodeInfo("P4503", "unbounded-buffer obligation", "flows", Severity.WARNING),
+    CodeInfo("P4504", "flow invariant not inductive on the witness instance",
+             "flows", Severity.WARNING),
+    CodeInfo("P4505", "parameterized deadlock freedom discharged", "flows",
+             Severity.INFO),
+    CodeInfo("P4506", "flow inventory", "flows", Severity.INFO),
+    CodeInfo("P4507", "parameterized check inconclusive", "flows",
+             Severity.WARNING),
+    CodeInfo("P4508", "conflicting flows share home states", "flows",
+             Severity.WARNING),
 )
+
+
+def expand_codes(tokens: Iterable[str]) -> frozenset[str]:
+    """Expand exact codes and code-family prefixes to registered codes.
+
+    Each token is either a code registered in :data:`CODES` (``"P3301"``)
+    or a prefix matching at least one registered code (``"P33"``, ``"P4"``)
+    — the CLI's ``--select P45`` / ``--ignore P33`` syntax.  Raises
+    :class:`KeyError` for tokens matching nothing, so typos fail loudly.
+    """
+    expanded: set[str] = set()
+    unknown: list[str] = []
+    for token in tokens:
+        if token in CODES:
+            expanded.add(token)
+            continue
+        family = [code for code in CODES if code.startswith(token)]
+        if token and family:
+            expanded.update(family)
+        else:
+            unknown.append(token)
+    if unknown:
+        raise KeyError(
+            "unknown diagnostic code(s) or prefix(es): "
+            f"{', '.join(sorted(unknown))}")
+    return frozenset(expanded)
 
 
 @dataclass(frozen=True)
@@ -234,12 +276,9 @@ class AnalysisReport:
         return frozenset(d.code for d in self.diagnostics)
 
     def select(self, codes: Iterable[str]) -> "AnalysisReport":
-        """A report restricted to the given diagnostic codes."""
-        wanted = frozenset(codes)
-        unknown = wanted - frozenset(CODES)
-        if unknown:
-            raise KeyError(
-                f"unknown diagnostic code(s): {', '.join(sorted(unknown))}")
+        """A report restricted to the given codes or code-family prefixes
+        (``"P3301"`` or ``"P33"``; see :func:`expand_codes`)."""
+        wanted = expand_codes(codes)
         return AnalysisReport(
             subject=self.subject,
             diagnostics=tuple(d for d in self.diagnostics
@@ -247,13 +286,9 @@ class AnalysisReport:
             passes_run=self.passes_run)
 
     def ignore(self, codes: Iterable[str]) -> "AnalysisReport":
-        """A report with the given diagnostic codes removed (``select``'s
-        complement; the CLI's ``--ignore``)."""
-        dropped = frozenset(codes)
-        unknown = dropped - frozenset(CODES)
-        if unknown:
-            raise KeyError(
-                f"unknown diagnostic code(s): {', '.join(sorted(unknown))}")
+        """A report with the given codes (or code-family prefixes) removed
+        (``select``'s complement; the CLI's ``--ignore``)."""
+        dropped = expand_codes(codes)
         return AnalysisReport(
             subject=self.subject,
             diagnostics=tuple(d for d in self.diagnostics

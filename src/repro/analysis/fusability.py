@@ -27,7 +27,7 @@ module-level import here would close that cycle.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from ..csp.ast import Protocol
 from .diagnostics import Diagnostic, make
@@ -39,12 +39,20 @@ __all__ = ["fusability_pass"]
 
 
 def fusability_pass(protocol: Protocol,
-                    strict_cycles: bool = False) -> Iterator[Diagnostic]:
-    from ..refine.reqreply import detect_fusable_pairs, fusability_report
+                    strict_cycles: bool = False, *,
+                    reports: "Optional[tuple[PairReport, ...]]" = None,
+                    ) -> Iterator[Diagnostic]:
+    """Report the fusability verdict for every candidate pair.
 
-    reports = fusability_report(protocol, strict_cycles=strict_cycles)
-    chosen = frozenset(detect_fusable_pairs(protocol,
-                                            strict_cycles=strict_cycles))
+    :param reports: pre-computed pair reports; the pass manager shares
+        one set across this pass and the flows pass so
+        ``explain_pair`` runs at most once per pair.
+    """
+    from ..refine.reqreply import choose_pairs, fusability_report
+
+    if reports is None:
+        reports = fusability_report(protocol, strict_cycles=strict_cycles)
+    chosen = frozenset(choose_pairs(reports))
     for report in reports:
         where = f"{protocol.name}:{report.pair.request_msg}"
         if not report.fusable:

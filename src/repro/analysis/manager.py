@@ -9,18 +9,27 @@ sets from the plan.
 
 Passes are registered in :data:`PROTOCOL_PASSES`; each is a pure
 function from the analysis context to an iterable of diagnostics, so the
-suite is trivially extensible and individually testable.  Everything is
-AST-level — milliseconds, no state-space exploration.
+suite is trivially extensible and individually testable.  The protocol
+and refined passes are AST-level — milliseconds, no state-space
+exploration.  The parameterized passes (:data:`PARAM_PASSES`, the P45xx
+family) additionally check their statically generated flow invariants on
+a tiny rendezvous witness instance (n = 2 by default); callers that must
+stay exploration-free — the refinement engine's pre-plan gate — pass
+``include_param=False``.
+
+Expensive shared derivations (the section 3.3 pair reports, the flow
+graph) are computed once per run and shared across passes through the
+context's :class:`AnalysisCache`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from ..csp.ast import Protocol
 from .bufferdemand import buffer_demand_pass
-from .diagnostics import AnalysisReport, Diagnostic
+from .diagnostics import AnalysisReport, Diagnostic, make
 from .fusability import fusability_pass
 from .overlap import overlap_pass
 from .reachability import reachability_pass
@@ -29,13 +38,49 @@ from .transients import transient_pass
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..refine.plan import RefinedProtocol, RefinementConfig
+    from ..refine.reqreply import PairReport
+    from .flows import FlowGraph
 
-__all__ = ["PROTOCOL_PASSES", "AnalysisContext", "analyze_protocol",
-           "analyze_refined"]
+__all__ = ["PARAM_PASSES", "PROTOCOL_PASSES", "AnalysisCache",
+           "AnalysisContext", "analyze_protocol", "analyze_refined"]
 
 #: Default node count assumed by node-count-sensitive passes (the buffer
 #: demand bound scales with ``n``); override via ``nodes=``.
 DEFAULT_NODES = 4
+
+
+class AnalysisCache:
+    """Per-run memo for derivations shared across passes.
+
+    The fusability pass and the flows pass both need the section 3.3
+    pair reports (one :func:`~repro.refine.reqreply.explain_pair` per
+    candidate pair); the flows and paramcheck passes share the derived
+    flow graph.  Each is computed at most once per analysis run.
+    """
+
+    def __init__(self) -> None:
+        self._reports: "Optional[tuple[PairReport, ...]]" = None
+        self._graph: "Optional[FlowGraph]" = None
+
+    def pair_reports(self, protocol: Protocol,
+                     strict_cycles: bool) -> "tuple[PairReport, ...]":
+        if self._reports is None:
+            from ..refine.reqreply import fusability_report
+
+            self._reports = fusability_report(
+                protocol, strict_cycles=strict_cycles)
+        return self._reports
+
+    def flow_graph(self, ctx: "AnalysisContext") -> "FlowGraph":
+        if self._graph is None:
+            from .flows import derive_flows
+
+            self._graph = derive_flows(
+                ctx.protocol,
+                reports=self.pair_reports(ctx.protocol, ctx.strict_cycles),
+                config=ctx.config,
+                strict_cycles=ctx.strict_cycles)
+        return self._graph
 
 
 @dataclass(frozen=True)
@@ -48,6 +93,9 @@ class AnalysisContext:
     fire_and_forget: frozenset[str] = frozenset()
     strict_cycles: bool = False
     refined: "Optional[RefinedProtocol]" = None
+    config: "Optional[RefinementConfig]" = None
+    cache: AnalysisCache = field(default_factory=AnalysisCache,
+                                 compare=False)
 
 
 PassFn = Callable[[AnalysisContext], Iterable[Diagnostic]]
@@ -57,16 +105,51 @@ PROTOCOL_PASSES: tuple[tuple[str, PassFn], ...] = (
     ("reachability", lambda ctx: reachability_pass(ctx.protocol)),
     ("overlap", lambda ctx: overlap_pass(ctx.protocol)),
     ("fusability", lambda ctx: fusability_pass(
-        ctx.protocol, strict_cycles=ctx.strict_cycles)),
+        ctx.protocol, strict_cycles=ctx.strict_cycles,
+        reports=ctx.cache.pair_reports(ctx.protocol, ctx.strict_cycles))),
     ("buffer-demand", lambda ctx: buffer_demand_pass(
         ctx.protocol, capacity=ctx.capacity, nodes=ctx.nodes,
         fire_and_forget=ctx.fire_and_forget)),
+)
+
+#: The parameterized (arbitrary-N) passes — P45xx.  These explore a tiny
+#: rendezvous witness instance, so they are *not* pure AST passes; the
+#: refinement engine's diagnostics gate excludes them.
+PARAM_PASSES: tuple[tuple[str, PassFn], ...] = (
+    ("flows", lambda ctx: _flows_pass(ctx)),
+    ("paramcheck", lambda ctx: _paramcheck_pass(ctx)),
 )
 
 REFINED_PASSES: tuple[tuple[str, PassFn], ...] = (
     ("transients", lambda ctx: transient_pass(_require_refined(ctx))),
     ("simulation", lambda ctx: _simulation_pass(ctx)),
 )
+
+
+def _flows_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
+    from .flows import flows_pass
+
+    try:
+        graph = ctx.cache.flow_graph(ctx)
+    except Exception as exc:
+        return [_underivable(ctx, exc)]
+    return flows_pass(ctx.protocol, graph=graph)
+
+
+def _paramcheck_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
+    from .paramcheck import paramcheck_pass
+
+    try:
+        graph = ctx.cache.flow_graph(ctx)
+    except Exception as exc:
+        return [_underivable(ctx, exc)]
+    return paramcheck_pass(ctx.protocol, graph=graph, config=ctx.config)
+
+
+def _underivable(ctx: AnalysisContext, exc: Exception) -> Diagnostic:
+    return make("P4507", f"{ctx.protocol.name}:flows",
+                f"flow graph could not be derived ({exc}); the "
+                "parameterized analysis is inconclusive")
 
 
 def _simulation_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
@@ -87,6 +170,7 @@ def analyze_protocol(protocol: Protocol, *,
                      config: "Optional[RefinementConfig]" = None,
                      nodes: int = DEFAULT_NODES,
                      select: Optional[Iterable[str]] = None,
+                     include_param: bool = True,
                      ) -> AnalysisReport:
     """Run the static-analysis suite over a rendezvous protocol.
 
@@ -96,6 +180,9 @@ def analyze_protocol(protocol: Protocol, *,
     :param nodes: remote node count ``n`` assumed by the buffer-demand
         bound (the bound scales with ``n``).
     :param select: restrict the report to these diagnostic codes.
+    :param include_param: also run the parameterized (P45xx) passes;
+        these explore a small witness instance, so callers needing a
+        pure AST-level report turn them off.
     """
     from ..refine.plan import RefinementConfig
 
@@ -106,8 +193,11 @@ def analyze_protocol(protocol: Protocol, *,
         capacity=config.home_buffer_capacity,
         fire_and_forget=config.fire_and_forget,
         strict_cycles=config.strict_reqreply_cycles,
+        config=config,
     )
-    return _run(protocol.name, ctx, PROTOCOL_PASSES, select)
+    passes = (PROTOCOL_PASSES + PARAM_PASSES if include_param
+              else PROTOCOL_PASSES)
+    return _run(protocol.name, ctx, passes, select)
 
 
 def analyze_refined(refined: "RefinedProtocol", *,
@@ -129,9 +219,10 @@ def analyze_refined(refined: "RefinedProtocol", *,
         fire_and_forget=config.fire_and_forget,
         strict_cycles=config.strict_reqreply_cycles,
         refined=refined,
+        config=config,
     )
-    passes = (PROTOCOL_PASSES + REFINED_PASSES if include_protocol_passes
-              else REFINED_PASSES)
+    passes = (PROTOCOL_PASSES + PARAM_PASSES + REFINED_PASSES
+              if include_protocol_passes else REFINED_PASSES)
     return _run(refined.name, ctx, passes, select)
 
 

@@ -1,0 +1,588 @@
+"""Flow-based parameterized deadlock-freedom analysis (the P45xx family).
+
+:mod:`repro.analysis.flows` turns a protocol's AST into a message-flow
+graph; this module turns that graph into a *verdict about arbitrary N*.
+The argument has three legs, in the style of flow-based parameterized
+verification (Sethi/Talupur/Malik, arXiv:1407.7468):
+
+1. **Structure** (purely static): the flow cover must be complete
+   (every transition belongs to a flow, else **P4501** from the flows
+   pass), distinct stable-entry flows must occupy disjoint home interiors
+   (**P4508** otherwise — without mutual exclusion the per-flow argument
+   cannot attribute the home state to one transaction), and the home
+   buffer demand of the refinement must be finite with the reservation
+   discipline on (**P4503** otherwise — the paper's section 4 deadlock
+   returns for some N if a remote can demand unbounded slots).
+
+2. **Flow invariants** (static generation, checked on a small witness):
+   for every *wait* — a home state where a flow blocks on one engaged
+   remote — we compute the *blamed set*: remote states that can neither
+   produce a message the home accepts there nor consume one the home
+   offers.  An empty blamed set makes the wait responsive outright.
+   Otherwise we emit the invariant "home at W ⇒ the engaged remote is
+   not blamed", plus *engagement* invariants ("home inside flow A ⇒ A's
+   requester sits in A's request region") and their duals ("a remote in
+   A's wait region ⇒ home is inside A and engaged to it").  All
+   invariants are checked exhaustively on the rendezvous instance at
+   ``witness_nodes`` (default 2).  Because each invariant constrains the
+   home and *one* engaged remote, and remotes are symmetric, a witness
+   with one requester and one responder exercises every (home, engaged
+   remote) case — this is the flow analogue of the repo's symmetry
+   reduction, not an extra assumption.  A falsified wait invariant whose
+   blamed state lies inside another flow's request region is a
+   *waits-for cycle* between two flows (**P4502**, with the two flows
+   and the blamed state as witness); any other falsification is
+   **P4504** (invariant not inductive).  An inconclusive check —
+   exploration truncated, semantics error, or a wait region the static
+   analysis cannot track — is **P4507**.
+
+3. **Transfer**: the claim is established at the rendezvous level; the
+   repo's P44xx simulation certificate (``docs/ANALYSIS.md``) is what
+   carries it to the asynchronous refinement, where the implicit-nack
+   discipline resolves the request/request races the invariants rule
+   out here.  The differential suite
+   (``tests/property/test_flows_differential.py``) cross-checks the
+   verdict against explicit-state exploration at n = 2..4.
+
+When all legs hold, **P4505** (info) records the discharge: deadlock
+freedom for arbitrary N, with the invariant inventory as the certificate
+body.  Everything here is WARNING/INFO severity — obligations gate
+nothing by default; ``repro lint --strict`` (or ``repro flows``) is
+where they bite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+from ..csp.ast import Input, Output, ProcessDef, Protocol, VarSender
+from .bufferdemand import remote_demand
+from .diagnostics import Diagnostic, make
+from .flows import (
+    HOME_INITIATED,
+    NOTIFICATION,
+    REMOTE_INITIATED,
+    Flow,
+    FlowGraph,
+    Wait,
+    derive_flows,
+    producible_msgs,
+    tau_closure,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..refine.plan import RefinementConfig
+    from ..refine.reqreply import PairReport
+
+__all__ = [
+    "FlowInvariant",
+    "ParamVerdict",
+    "check_parameterized",
+    "paramcheck_pass",
+]
+
+#: invariant kinds
+WAIT = "wait"
+ENGAGED = "engaged"
+WAITING = "waiting"
+
+#: default exhaustive-exploration budget for the witness instance
+DEFAULT_WITNESS_BUDGET = 20_000
+
+
+@dataclass(frozen=True)
+class FlowInvariant:
+    """One generated invariant, checkable on a rendezvous state."""
+
+    name: str
+    kind: str
+    flow: str
+    detail: str
+    pred: Callable[[Any], bool] = field(compare=False, repr=False)
+    #: for wait invariants: the blamed remote states and the wait record
+    blamed: frozenset[str] = frozenset()
+    wait: Optional[Wait] = None
+
+
+@dataclass(frozen=True)
+class ParamVerdict:
+    """The parameterized deadlock-freedom verdict for one protocol."""
+
+    protocol: str
+    graph: FlowGraph
+    discharged: bool
+    obligations: tuple[Diagnostic, ...]
+    invariants: tuple[FlowInvariant, ...]
+    responsive_waits: int
+    witness_nodes: int
+    witness_states: int
+    witness_completed: bool
+    witness_deadlocks: int
+    buffer_demand: Optional[int]
+
+    @property
+    def verdict(self) -> str:
+        return "deadlock-free-any-N" if self.discharged else "obligations"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "verdict": self.verdict,
+            "discharged": self.discharged,
+            "complete_cover": self.graph.complete,
+            "n_flows": len(self.graph.flows),
+            "invariants": [
+                {"name": i.name, "kind": i.kind, "flow": i.flow,
+                 "detail": i.detail} for i in self.invariants],
+            "responsive_waits": self.responsive_waits,
+            "witness": {
+                "nodes": self.witness_nodes,
+                "states": self.witness_states,
+                "completed": self.witness_completed,
+                "deadlocks": self.witness_deadlocks,
+            },
+            "buffer_demand_per_remote": self.buffer_demand,
+            "obligations": [d.as_dict() for d in self.obligations],
+        }
+
+
+# ---------------------------------------------------------------------------
+# blamed sets
+# ---------------------------------------------------------------------------
+
+
+def _blamed(remote: ProcessDef, wait: Wait) -> frozenset[str]:
+    """Remote states that can make no progress against a waiting home.
+
+    A remote state escapes blame if, after local (tau) steps only, it
+    can *produce* a message the home accepts at the wait, or *consume*
+    one the home simultaneously offers there.  A blamed state paired
+    with the wait is a local deadlock; the wait invariant asserts the
+    engaged remote never sits in one.
+    """
+    blamed = set()
+    for name in remote.states:
+        if producible_msgs(remote, name) & wait.msgs:
+            continue
+        if wait.offers and any(
+                g.msg in wait.offers
+                for s in tau_closure(remote, name)
+                for g in remote.state(s).inputs):
+            continue
+        blamed.add(name)
+    return frozenset(blamed)
+
+
+# ---------------------------------------------------------------------------
+# invariant generation
+# ---------------------------------------------------------------------------
+
+
+def _wait_invariant(flow: Flow, wait: Wait,
+                    blamed: frozenset[str]) -> FlowInvariant:
+    state, var = wait.state, wait.var
+
+    def pred(rv: Any, _s: str = state, _v: str = var,
+             _b: frozenset[str] = blamed) -> bool:
+        if rv.home.state != _s:
+            return True
+        idx = rv.home.env.get(_v)
+        if not isinstance(idx, int) or not 0 <= idx < len(rv.remotes):
+            return False  # untracked engagement: conservatively falsified
+        return rv.remotes[idx].state not in _b
+
+    detail = (f"home at {state} awaits {'/'.join(sorted(wait.msgs))} from "
+              f"{var}; {var} must not be in "
+              f"{{{', '.join(sorted(blamed))}}}")
+    return FlowInvariant(name=f"{flow.name}:wait@{state}", kind=WAIT,
+                         flow=flow.name, detail=detail, pred=pred,
+                         blamed=blamed, wait=wait)
+
+
+def _engaged_invariant(flow: Flow) -> FlowInvariant:
+    interior, var = flow.interior_home, flow.requester_var
+    region = flow.requester_region
+    assert var is not None
+
+    def pred(rv: Any, _i: frozenset[str] = interior, _v: str = var,
+             _r: frozenset[str] = region) -> bool:
+        if rv.home.state not in _i:
+            return True
+        idx = rv.home.env.get(_v)
+        if not isinstance(idx, int) or not 0 <= idx < len(rv.remotes):
+            return False
+        return rv.remotes[idx].state in _r
+
+    detail = (f"home inside {flow.name} "
+              f"({', '.join(sorted(interior))}) ⇒ requester {var} is in "
+              f"{{{', '.join(sorted(region))}}}")
+    return FlowInvariant(name=f"{flow.name}:engaged", kind=ENGAGED,
+                         flow=flow.name, detail=detail, pred=pred)
+
+
+def _extended_interior(flow: Flow, graph: FlowGraph) -> frozenset[str]:
+    """``flow``'s interior plus the interiors of flows nested inside it
+    (transitively).  While the home serves a nested transaction — e.g.
+    denying an upgrade mid-writer-grant — the outer requester is still
+    legitimately waiting."""
+    region = set(flow.interior_home)
+    grown = True
+    while grown:
+        grown = False
+        for nested in graph.flows:
+            if nested.stable_entry or nested.entry_state not in region:
+                continue
+            if not nested.interior_home <= region:
+                region |= nested.interior_home
+                grown = True
+    return frozenset(region)
+
+
+def _waiting_invariant(wait_state: str, flows: tuple[Flow, ...],
+                       graph: FlowGraph) -> FlowInvariant:
+    """Dual of engagement: a remote parked in a request-wait state
+    implies the home is mid-flow serving *that* remote — no requester is
+    ever stranded against a stable home."""
+    interiors = frozenset(s for f in flows
+                          for s in _extended_interior(f, graph))
+    vars_ = tuple(sorted({f.requester_var for f in flows
+                          if f.requester_var is not None}))
+    names = ", ".join(f.name for f in flows)
+
+    def pred(rv: Any, _w: str = wait_state,
+             _i: frozenset[str] = interiors,
+             _v: tuple[str, ...] = vars_) -> bool:
+        for idx, remote in enumerate(rv.remotes):
+            if remote.state != _w:
+                continue
+            if rv.home.state not in _i:
+                return False
+            if not any(rv.home.env.get(v) == idx for v in _v):
+                return False
+        return True
+
+    detail = (f"a remote at {wait_state} ⇒ home is inside one of "
+              f"[{names}] and engaged to it")
+    return FlowInvariant(name=f"waiting@{wait_state}", kind=WAITING,
+                         flow=names, detail=detail, pred=pred)
+
+
+def _sole_entry(remote: ProcessDef, wait_state: str,
+                request_msgs: frozenset[str]) -> bool:
+    """Is ``wait_state`` entered only by sending a request?  If other
+    edges reach it, the dual invariant cannot attribute the wait."""
+    if wait_state == remote.initial_state:
+        return False
+    for state in remote.states.values():
+        for guard in state.guards:
+            if guard.to != wait_state:
+                continue
+            if not (isinstance(guard, Output)
+                    and guard.msg in request_msgs):
+                return False
+    return True
+
+
+def generate_invariants(protocol: Protocol, graph: FlowGraph,
+                        ) -> tuple[tuple[FlowInvariant, ...], int,
+                                   tuple[str, ...]]:
+    """Build the invariant set for ``graph``.
+
+    Returns ``(invariants, responsive_waits, untracked)`` where
+    ``responsive_waits`` counts waits discharged outright (empty blamed
+    set, no invariant needed) and ``untracked`` lists request-wait
+    states the dual invariant cannot cover (each is a P4507 obligation).
+    """
+    remote = protocol.remote
+    invariants: list[FlowInvariant] = []
+    seen: set[str] = set()
+    responsive = 0
+
+    for flow in graph.flows:
+        for wait in flow.waits:
+            blamed = _blamed(remote, wait)
+            if not blamed:
+                responsive += 1
+                continue
+            inv = _wait_invariant(flow, wait, blamed)
+            if inv.name not in seen:  # nested flows share enclosing waits
+                seen.add(inv.name)
+                invariants.append(inv)
+        if (flow.kind != NOTIFICATION and flow.stable_entry
+                and flow.interior_home and flow.requester_var is not None
+                and flow.requester_region):
+            invariants.append(_engaged_invariant(flow))
+
+    # duals, grouped by remote wait state across all reply-bearing flows
+    by_wait: dict[str, list[Flow]] = {}
+    for flow in graph.flows:
+        if flow.kind != REMOTE_INITIATED or not flow.reply_msgs:
+            continue
+        for ws in flow.requester_wait_states:
+            by_wait.setdefault(ws, []).append(flow)
+
+    untracked: list[str] = []
+    for ws in sorted(by_wait):
+        flows = tuple(by_wait[ws])
+        requests = frozenset(f.request_msg for f in flows)
+        if not _sole_entry(remote, ws, requests):
+            untracked.append(ws)
+            continue
+        invariants.append(_waiting_invariant(ws, flows, graph))
+
+    return tuple(invariants), responsive, tuple(untracked)
+
+
+# ---------------------------------------------------------------------------
+# the check
+# ---------------------------------------------------------------------------
+
+
+def check_parameterized(protocol: Protocol, *,
+                        graph: Optional[FlowGraph] = None,
+                        reports: Optional[tuple["PairReport", ...]] = None,
+                        config: Optional["RefinementConfig"] = None,
+                        strict_cycles: bool = False,
+                        witness_nodes: int = 2,
+                        max_states: int = DEFAULT_WITNESS_BUDGET,
+                        ) -> ParamVerdict:
+    """Run the full parameterized deadlock-freedom analysis."""
+    # deferred imports: repro.refine / repro.semantics reach back into
+    # the analysis package (see flows.py)
+    from ..refine.plan import RefinementConfig
+
+    config = config or RefinementConfig()
+    if graph is None:
+        graph = derive_flows(protocol, reports=reports, config=config,
+                             strict_cycles=strict_cycles)
+
+    where = f"{protocol.name}:paramcheck"
+    obligations: list[Diagnostic] = []
+
+    # -- leg 1: structure ------------------------------------------------
+    _check_mutex(graph, where, obligations)
+    demand = _check_buffer(protocol, config, where, obligations)
+
+    # -- leg 2: invariants on the witness instance -----------------------
+    invariants, responsive, untracked = generate_invariants(protocol, graph)
+    for ws in untracked:
+        obligations.append(make(
+            "P4507", where,
+            f"request-wait state remote.{ws} has entries besides the "
+            "request send; the waiting-side invariant cannot attribute "
+            "it to a flow — parameterized claim is inconclusive"))
+
+    witness = _run_witness(protocol, graph, invariants, witness_nodes,
+                           max_states, where, obligations)
+
+    # -- verdict ---------------------------------------------------------
+    blocking = {"P4502", "P4503", "P4504", "P4507", "P4508"}
+    discharged = (graph.complete
+                  and not any(d.code in blocking for d in obligations))
+    if discharged:
+        obligations.append(make(
+            "P4505", where,
+            f"deadlock freedom discharged for arbitrary N: complete "
+            f"cover by {len(graph.flows)} flows, {len(invariants)} flow "
+            f"invariant(s) hold on the exhaustive n={witness_nodes} "
+            f"rendezvous witness ({witness.n_states} states, "
+            f"{responsive} wait(s) responsive outright), home buffer "
+            f"demand {demand}/remote under reservations; lifted by flow "
+            f"symmetry and transferred to the async refinement via the "
+            f"P44xx simulation certificate"))
+
+    return ParamVerdict(
+        protocol=protocol.name,
+        graph=graph,
+        discharged=discharged,
+        obligations=tuple(obligations),
+        invariants=invariants,
+        responsive_waits=responsive,
+        witness_nodes=witness_nodes,
+        witness_states=witness.n_states,
+        witness_completed=witness.completed,
+        witness_deadlocks=witness.deadlock_count,
+        buffer_demand=demand,
+    )
+
+
+def _check_mutex(graph: FlowGraph, where: str,
+                 obligations: list[Diagnostic]) -> None:
+    """Stable-entry flows must occupy disjoint home interiors (nested
+    flows deliberately share their enclosing transaction's states)."""
+    top = [f for f in graph.flows if f.stable_entry and f.interior_home]
+    for i, a in enumerate(top):
+        for b in top[i + 1:]:
+            shared = a.interior_home & b.interior_home
+            if shared:
+                obligations.append(make(
+                    "P4508", where,
+                    f"flows {a.name} and {b.name} share home state(s) "
+                    f"{{{', '.join(sorted(shared))}}}; without mutual "
+                    "exclusion the home state cannot be attributed to "
+                    "one transaction"))
+
+
+def _check_buffer(protocol: Protocol, config: "RefinementConfig",
+                  where: str,
+                  obligations: list[Diagnostic]) -> Optional[int]:
+    demand = remote_demand(protocol.remote, config.fire_and_forget)
+    if demand is None:
+        obligations.append(make(
+            "P4503", where,
+            "a remote can issue unboundedly many unacknowledged "
+            "messages (no finite per-remote demand); the k-bounded "
+            "home-buffer argument does not close for any fixed "
+            "capacity",
+            hint="see P3203 and docs/ANALYSIS.md#P4503"))
+    missing = [flag for flag, on in (
+        ("reserve_progress_buffer", config.reserve_progress_buffer),
+        ("reserve_ack_buffer", config.reserve_ack_buffer)) if not on]
+    if missing:
+        obligations.append(make(
+            "P4503", where,
+            f"reservation discipline disabled ({', '.join(missing)}); "
+            "the section 4 overflow deadlock returns for some N "
+            "regardless of capacity k"))
+    return demand
+
+
+def _run_witness(protocol: Protocol, graph: FlowGraph,
+                 invariants: tuple[FlowInvariant, ...],
+                 witness_nodes: int, max_states: int, where: str,
+                 obligations: list[Diagnostic]) -> Any:
+    from ..check.explorer import explore
+    from ..check.stats import ExplorationResult
+    from ..semantics.rendezvous import RendezvousSystem
+
+    by_name = {inv.name: inv for inv in invariants}
+    try:
+        system = RendezvousSystem(protocol, witness_nodes)
+        result = explore(
+            system,
+            name=f"{protocol.name}-rv{witness_nodes}-paramcheck",
+            invariants=[(inv.name, _safe(inv.pred)) for inv in invariants],
+            max_states=max_states,
+            stop_on_violation=False,
+            allow_deadlock=False,
+        )
+    except Exception as exc:  # semantics errors on ill-formed protocols
+        obligations.append(make(
+            "P4507", where,
+            f"witness instance (n={witness_nodes}) could not be "
+            f"explored: {exc}"))
+        return ExplorationResult(
+            system_name=f"{protocol.name}-rv{witness_nodes}-paramcheck",
+            n_states=0, n_transitions=0, seconds=0.0, completed=False,
+            stop_reason="error")
+
+    # explore() records one counterexample per violating state; keep the
+    # shortest witness per invariant
+    best: dict[str, Any] = {}
+    for cex in result.violations:
+        prev = best.get(cex.property_name)
+        if prev is None or len(cex.steps) < len(prev.steps):
+            best[cex.property_name] = cex
+    for name in sorted(best):
+        inv = by_name.get(name)
+        if inv is None:  # pragma: no cover - defensive
+            continue
+        obligations.append(_classify_violation(graph, inv, best[name],
+                                               where))
+
+    if result.deadlock_count:
+        obligations.append(_deadlock_obligation(graph, result, where,
+                                                witness_nodes))
+    if not result.completed:
+        obligations.append(make(
+            "P4507", where,
+            f"witness exploration truncated ({result.stop_reason}) "
+            f"after {result.n_states} states; invariants were not "
+            "checked exhaustively"))
+    return result
+
+
+def _safe(pred: Callable[[Any], bool]) -> Callable[[Any], bool]:
+    def wrapped(state: Any) -> bool:
+        try:
+            return pred(state)
+        except Exception:
+            return False  # a crash in a predicate is a falsification
+    return wrapped
+
+
+def _classify_violation(graph: FlowGraph, inv: FlowInvariant,
+                        cex: Any, where: str) -> Diagnostic:
+    if inv.kind == WAIT and inv.wait is not None:
+        state = cex.states[-1]
+        blamed_state: Optional[str] = None
+        idx = state.home.env.get(inv.wait.var)
+        if isinstance(idx, int) and 0 <= idx < len(state.remotes):
+            blamed_state = state.remotes[idx].state
+        for other in graph.flows:
+            if other.name == inv.flow or blamed_state is None:
+                continue
+            if blamed_state in other.requester_region:
+                return make(
+                    "P4502", where,
+                    f"waits-for cycle between flows {inv.flow} and "
+                    f"{other.name}: at home state {inv.wait.state}, "
+                    f"flow {inv.flow} awaits "
+                    f"{'/'.join(sorted(inv.wait.msgs))} from "
+                    f"{inv.wait.var}, but {inv.wait.var} sits at "
+                    f"remote.{blamed_state} inside {other.name}'s "
+                    f"request region — each flow waits on the other "
+                    f"({len(cex.steps)}-step witness)")
+        return make(
+            "P4504", where,
+            f"wait invariant {inv.name} is not inductive: "
+            f"{inv.detail}; falsified in {len(cex.steps)} steps "
+            f"(engaged remote at "
+            f"{blamed_state or 'untracked state'})")
+    return make(
+        "P4504", where,
+        f"{inv.kind} invariant {inv.name} is not inductive: "
+        f"{inv.detail}; falsified in {len(cex.steps)} steps")
+
+
+def _deadlock_obligation(graph: FlowGraph, result: Any, where: str,
+                         witness_nodes: int) -> Diagnostic:
+    detail = ""
+    if result.deadlocks:
+        witness = result.deadlocks[0]
+        # deadlock witnesses are traces (Counterexample) or bare states
+        state = (witness.states[-1] if hasattr(witness, "states")
+                 else witness)
+        home = state.home.state
+        remotes = ", ".join(r.state for r in state.remotes)
+        involved = [f.name for f in graph.flows
+                    if home in f.interior_home or home == f.entry_state]
+        pair = (f" (home at {home} inside "
+                f"[{', '.join(involved) or 'no flow'}], remotes at "
+                f"[{remotes}])")
+        detail = pair
+    return make(
+        "P4502", where,
+        f"the n={witness_nodes} witness instance deadlocks "
+        f"({result.deadlock_count} state(s)){detail}; the flow "
+        "waits-for relation has a cycle")
+
+
+# ---------------------------------------------------------------------------
+# the analysis pass
+# ---------------------------------------------------------------------------
+
+
+def paramcheck_pass(protocol: Protocol, *,
+                    reports: Optional[tuple["PairReport", ...]] = None,
+                    config: Optional["RefinementConfig"] = None,
+                    strict_cycles: bool = False,
+                    graph: Optional[FlowGraph] = None,
+                    witness_nodes: int = 2,
+                    ) -> Iterator[Diagnostic]:
+    """Pass-manager entry point: yield the P45xx obligations/verdict."""
+    verdict = check_parameterized(
+        protocol, graph=graph, reports=reports, config=config,
+        strict_cycles=strict_cycles, witness_nodes=witness_nodes)
+    yield from verdict.obligations

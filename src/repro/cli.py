@@ -11,9 +11,13 @@ Commands:
   ``--profile out.json`` for a machine-readable run profile.
 * ``lint``     — run the static-analysis suite (section 2.4 restrictions,
   reachability, guard overlap, fusability, buffer demand, transients,
-  the P44xx simulation certificate) and print structured diagnostics
-  (``--json`` for machines, ``--strict`` to fail on warnings,
-  ``--select CODE`` / ``--ignore CODE`` to filter).
+  the P44xx simulation certificate, the P45xx parameterized flow
+  analysis) and print structured diagnostics (``--json`` for machines,
+  ``--strict`` to fail on warnings, ``--select CODE`` / ``--ignore CODE``
+  to filter — both accept family prefixes such as ``P45``).
+* ``flows``    — derive the message-flow graph and print the
+  parameterized deadlock-freedom verdict (``--json`` for machines,
+  ``--dot`` for Graphviz, ``--strict`` to fail unless discharged).
 * ``refine``   — print the refinement plan and the refined state machines.
 * ``simulate`` — run the discrete-event simulator and print metrics
   (``--msc N`` renders a message-sequence chart of the first N events).
@@ -29,6 +33,9 @@ Examples::
     repro check migratory --level async -n 4 --parallel --profile out.json
     repro lint migratory --json
     repro lint all -n 8 --strict
+    repro lint msi --select P45
+    repro flows invalidate
+    repro flows all --json
     repro refine invalidate --figures
     repro simulate migratory -n 8 --workload hot --until 50000
     repro simulate migratory -n 3 --until 500 --msc 12
@@ -188,15 +195,18 @@ def cmd_check(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from .analysis import CODES, Severity, analyze_protocol, analyze_refined
+    from .analysis import Severity, analyze_protocol, analyze_refined
+    from .analysis.diagnostics import expand_codes
     from .errors import RefinementError, ValidationError
 
-    unknown = sorted((set(args.select) | set(args.ignore)) - set(CODES))
-    if unknown:
+    try:
+        selected = expand_codes(args.select)
+        ignored = expand_codes(args.ignore)
+    except KeyError as exc:
         raise SystemExit(
-            f"unknown diagnostic code(s): {', '.join(unknown)}; "
-            "see docs/ANALYSIS.md for the catalogue")
-    overlap = sorted(set(args.select) & set(args.ignore))
+            f"{exc.args[0]}; see docs/ANALYSIS.md for the catalogue"
+        ) from None
+    overlap = sorted(selected & ignored)
     if overlap:
         raise SystemExit(
             f"code(s) both selected and ignored: {', '.join(overlap)}")
@@ -218,10 +228,10 @@ def cmd_lint(args) -> int:
             # unrefinable: report the protocol-level diagnostics instead
             report = analyze_protocol(protocol, config=config,
                                       nodes=args.nodes)
-        if args.select:
-            report = report.select(args.select)
-        if args.ignore:
-            report = report.ignore(args.ignore)
+        if selected:
+            report = report.select(selected)
+        if ignored:
+            report = report.ignore(ignored)
         severity = report.max_severity
         if severity is not None and (worst is None or severity > worst):
             worst = severity
@@ -234,6 +244,51 @@ def cmd_lint(args) -> int:
         print("\n\n".join(outputs))
     threshold = Severity.WARNING if args.strict else Severity.ERROR
     return 1 if worst is not None and worst >= threshold else 0
+
+
+def cmd_flows(args) -> int:
+    import json
+
+    from .analysis.flows import derive_flows
+    from .analysis.paramcheck import check_parameterized
+    from .errors import RefinementError
+
+    names = sorted(PROTOCOLS) if args.protocol == "all" else [args.protocol]
+    try:
+        config = _config(args)
+    except RefinementError as exc:
+        raise SystemExit(str(exc)) from None
+    all_discharged = True
+    outputs = []
+    for name in names:
+        protocol = _build(name)
+        graph = derive_flows(protocol, config=config)
+        if args.dot:
+            from .viz.dot import flow_dot
+            outputs.append(flow_dot(graph))
+            all_discharged = all_discharged and graph.complete
+            continue
+        verdict = check_parameterized(protocol, graph=graph, config=config,
+                                      witness_nodes=args.witness_nodes)
+        all_discharged = all_discharged and verdict.discharged
+        if args.json:
+            doc = graph.as_dict()
+            doc["paramcheck"] = verdict.as_dict()
+            outputs.append(json.dumps(doc, indent=2))
+        else:
+            lines = [graph.describe(),
+                     f"parameterized verdict: {verdict.verdict} "
+                     f"({len(verdict.invariants)} invariant(s) on the "
+                     f"n={verdict.witness_nodes} witness, "
+                     f"{verdict.witness_states} state(s))"]
+            lines.extend(f"  {d.render()}" for d in verdict.obligations)
+            outputs.append("\n".join(lines))
+    if args.json and len(outputs) > 1:
+        # one parseable document, not concatenated ones (CI consumes this)
+        print("[" + ",\n".join(outputs) + "]")
+    else:
+        print("\n\n".join(outputs))
+    return 0 if all_discharged or not args.strict else 1
 
 
 def cmd_refine(args) -> int:
@@ -395,6 +450,8 @@ def build_parser() -> argparse.ArgumentParser:
                "      show only the fusability report\n"
                "  repro lint all --ignore P3403 --ignore P4405\n"
                "      hide the inventory notes\n"
+               "  repro lint msi --select P45\n"
+               "      the whole parameterized-flow family by prefix\n"
                "  repro lint all --strict\n"
                "      exit 1 on warnings too (CI gate)\n"
                "  repro lint msi --json > msi-lint.json\n"
@@ -415,12 +472,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on warnings, not just errors")
     p.add_argument("--select", action="append", metavar="CODE", default=[],
-                   help="only report these diagnostic codes (repeatable, "
-                        "e.g. --select P4401)")
+                   help="only report these diagnostic codes (repeatable; "
+                        "exact code or family prefix, e.g. --select P4401 "
+                        "or --select P45)")
     p.add_argument("--ignore", action="append", metavar="CODE", default=[],
                    help="drop these diagnostic codes from the report "
-                        "(repeatable; the complement of --select)")
+                        "(repeatable; the complement of --select, same "
+                        "prefix syntax)")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "flows", help="derive message flows; parameterized verdict",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="examples:\n"
+               "  repro flows invalidate\n"
+               "      flow inventory + arbitrary-N deadlock verdict\n"
+               "  repro flows all --json > flows.json\n"
+               "      machine-readable flow graphs (CI artifact)\n"
+               "  repro flows msi --dot | dot -Tpng > msi-flows.png\n"
+               "      Graphviz rendering of the flow clusters")
+    p.add_argument("protocol", choices=sorted(PROTOCOLS) + ["all"],
+                   help="library protocol to analyze, or 'all'")
+    p.add_argument("--buffer", type=int, default=2,
+                   help="home buffer capacity k (default 2)")
+    p.add_argument("--no-reqreply", action="store_true",
+                   help="disable the section 3.3 optimization")
+    p.add_argument("--no-progress-buffer", action="store_true",
+                   help=argparse.SUPPRESS)  # accepted for _config() parity
+    p.add_argument("--witness-nodes", type=int, default=2, metavar="N",
+                   help="witness instance size for invariant checking "
+                        "(default 2; the verdict lifts to arbitrary N)")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON flow-graph document per protocol")
+    p.add_argument("--dot", action="store_true",
+                   help="emit Graphviz DOT of the flow graph (skips the "
+                        "witness check)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero unless deadlock freedom is "
+                        "discharged for arbitrary N")
+    p.set_defaults(func=cmd_flows)
 
     p = sub.add_parser("refine", help="show the refinement result")
     common(p)

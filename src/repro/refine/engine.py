@@ -94,7 +94,10 @@ def _gate_on_diagnostics(protocol: Protocol,
     too.  The raised :class:`ValidationError` carries the structured
     records in ``exc.diagnostics``.
     """
-    report = analyze_protocol(protocol, config=config)
+    # include_param=False: the gate must stay a pure AST-level check —
+    # the parameterized (P45xx) passes explore a witness instance and
+    # never raise errors anyway
+    report = analyze_protocol(protocol, config=config, include_param=False)
     errors = report.errors
     if errors:
         detail = "\n  - ".join(f"[{d.code}] {d.legacy_text}" for d in errors)

@@ -65,6 +65,7 @@ __all__ = [
     "PairReport",
     "candidate_pairs",
     "check_pair",
+    "choose_pairs",
     "detect_fusable_pairs",
     "explain_pair",
     "fusability_report",
@@ -175,9 +176,20 @@ def detect_fusable_pairs(protocol: Protocol,
     ``strict_cycles=True`` additionally rejects pairs whose home-side reply
     path passes through a cycle (see :func:`check_pair`).
     """
-    candidates = [pair for pair in candidate_pairs(protocol)
-                  if check_pair(protocol, pair,
-                                strict_cycles=strict_cycles) is None]
+    return choose_pairs(fusability_report(protocol,
+                                          strict_cycles=strict_cycles))
+
+
+def choose_pairs(reports: tuple[PairReport, ...]) -> tuple[FusedPair, ...]:
+    """The maximal non-overlapping fused subset of explained candidates.
+
+    This is the selection half of :func:`detect_fusable_pairs`, split out
+    so callers holding the (expensive) per-pair reports — the analysis
+    pass manager caches one set per protocol — can pick the fused pairs
+    without re-running :func:`explain_pair`.  The greedy order is the
+    engine's: remote-initiated first, then alphabetical.
+    """
+    candidates = [report.pair for report in reports if report.fusable]
     candidates.sort(key=lambda p: (p.requester != REMOTE,
                                    p.request_msg, p.reply_msg))
     pairs: list[FusedPair] = []

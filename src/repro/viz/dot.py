@@ -7,6 +7,12 @@ dotted, as in the paper), the ack/nack edges, the implicit-nack edge
 (``[nack]``), the transient self-loop on ignored requests (``h??*``) and
 the fused request/reply short-cuts.
 
+``flow_dot`` draws a derived *flow graph*
+(:class:`~repro.analysis.flows.FlowGraph`): stable home states as double
+circles, one dashed cluster per flow with its SEND/RECV/WAIT event chain,
+entry edges from the stable state each flow leaves and exit edges back to
+the stable states it can land in.
+
 The output is plain DOT text: render with ``dot -Tpng`` if Graphviz is
 available, or read directly — node/edge labels follow the paper's
 ``??``/``!!`` notation for asynchronous receives/sends.
@@ -14,10 +20,15 @@ available, or read directly — node/edge labels follow the paper's
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..csp.ast import Input, Output, ProcessDef, ProcessKind, StateDef, Tau
 from ..refine.plan import RefinedProtocol
 
-__all__ = ["process_dot", "refined_dot"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.flows import FlowGraph
+
+__all__ = ["flow_dot", "process_dot", "refined_dot"]
 
 
 def _escape(text: str) -> str:
@@ -158,3 +169,40 @@ def _render_output(lines, edge, plan, process: ProcessDef, state: StateDef,
     else:
         edge(trans, trans, "h??nack / retransmit", dotted=True)
         edge(trans, trans, "h??*", dotted=True)
+
+
+def flow_dot(graph: "FlowGraph", title: str | None = None) -> str:
+    """Render a derived flow graph as a DOT digraph.
+
+    Stable home states are shared double-circle nodes; each flow becomes
+    a dashed cluster holding its event chain (WAIT events shown as
+    diamonds), with an entry edge from the stable state the flow leaves
+    and exit edges to the stable states it can land in.
+    """
+    lines = [f'digraph "{_escape(title or f"{graph.protocol} flows")}" {{',
+             "  rankdir=LR;",
+             "  node [fontsize=11];"]
+    for state in sorted(graph.stable_states):
+        lines.append(f'  "{_escape(state)}" [shape=doublecircle];')
+    for i, flow in enumerate(graph.flows):
+        nodes = [f"f{i}e{j}" for j in range(len(flow.events))]
+        lines.append(f"  subgraph cluster_{i} {{")
+        lines.append(f'    label="{_escape(flow.name)} ({flow.kind})";')
+        lines.append("    style=dashed; fontsize=10;")
+        for node, event in zip(nodes, flow.events):
+            shape = "diamond" if event.kind == "wait" else "box"
+            lines.append(f'    {node} [shape={shape}, '
+                         f'label="{_escape(event.describe())}"];')
+        for src, dst in zip(nodes, nodes[1:]):
+            lines.append(f"    {src} -> {dst};")
+        lines.append("  }")
+        if nodes:
+            if flow.entry_state in graph.stable_states:
+                lines.append(f'  "{_escape(flow.entry_state)}" -> {nodes[0]} '
+                             "[style=dotted];")
+            for exit_state in sorted(flow.exit_states):
+                if exit_state in graph.stable_states:
+                    lines.append(f'  {nodes[-1]} -> "{_escape(exit_state)}" '
+                                 "[style=dotted];")
+    lines.append("}")
+    return "\n".join(lines)

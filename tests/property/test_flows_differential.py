@@ -1,0 +1,109 @@
+"""Property-based soundness of the parameterized (P45xx) verdict.
+
+The flow-based analysis makes a deliberately one-sided claim: it may
+*fail* to discharge a deadlock-free protocol (incompleteness is allowed
+and counted), but it must never stamp ``deadlock-free-any-N`` on a
+protocol that bounded exploration can refute.  This suite pins that
+direction against the explicit-state explorer at n = 2..4 — the same
+oracle the simulation-certificate differential uses — over the library
+protocols and hypothesis-random protocols from the generator.
+"""
+
+from hypothesis import given, note, settings, strategies as st
+
+from repro.analysis.paramcheck import check_parameterized
+from repro.check.explorer import explore
+from repro.gen import GeneratorParams, random_protocol
+from repro.protocols import (
+    invalidate_protocol,
+    mesi_protocol,
+    migratory_protocol,
+    msi_protocol,
+)
+from repro.semantics.rendezvous import RendezvousSystem
+
+SMALL = GeneratorParams(n_remote_states=3, n_home_states=3,
+                        n_remote_msgs=2, n_home_msgs=2)
+
+lenient = settings(max_examples=25, deadline=None)
+
+#: per-instance exploration budget; generated protocols are tiny, so a
+#: truncated run means something is badly wrong — treat it as such
+ORACLE_BUDGET = 50_000
+
+
+@st.composite
+def protocols(draw):
+    seed = draw(st.integers(0, 10_000))
+    return random_protocol(seed, SMALL)
+
+
+def deadlock_found(protocol, n: int) -> bool:
+    result = explore(RendezvousSystem(protocol, n),
+                     name=f"{protocol.name}-oracle-{n}",
+                     max_states=ORACLE_BUDGET)
+    assert result.completed, f"oracle truncated at n={n}"
+    return bool(result.deadlocks)
+
+
+class TestStaticVerdictIsSound:
+    @lenient
+    @given(protocols())
+    def test_discharged_implies_no_bounded_deadlock(self, protocol):
+        verdict = check_parameterized(protocol)
+        note(f"verdict: {verdict.verdict}, "
+             f"{len(verdict.graph.flows)} flow(s), "
+             f"complete={verdict.graph.complete}")
+        if not verdict.discharged:
+            # incompleteness is allowed; soundness only binds discharges
+            return
+        for n in (2, 3, 4):
+            assert not deadlock_found(protocol, n), (
+                f"static pass discharged {protocol.name!r} but exploration "
+                f"finds a deadlock at n={n}")
+
+    @lenient
+    @given(protocols())
+    def test_refuted_protocols_carry_an_obligation(self, protocol):
+        # contrapositive sanity: a bounded deadlock at the witness size
+        # must leave a P45xx obligation (never a clean discharge)
+        if deadlock_found(protocol, 2):
+            verdict = check_parameterized(protocol)
+            assert not verdict.discharged
+            assert any(d.code in {"P4501", "P4502", "P4503", "P4504",
+                                  "P4507", "P4508"}
+                       for d in verdict.obligations)
+
+    @lenient
+    @given(protocols())
+    def test_verdict_is_deterministic(self, protocol):
+        first = check_parameterized(protocol)
+        second = check_parameterized(protocol)
+        assert first.discharged == second.discharged
+        assert [d.code for d in first.obligations] == \
+            [d.code for d in second.obligations]
+
+
+class TestLibraryProtocolsAgree:
+    def test_discharges_match_exploration(self):
+        # symmetry reduction preserves deadlock existence and keeps the
+        # n=4 library instances inside the oracle budget
+        from repro.check.symmetry import SymmetricSystem
+        from repro.protocols.symmetry import symmetry_spec_for
+
+        factories = {"migratory": migratory_protocol,
+                     "invalidate": invalidate_protocol,
+                     "mesi": mesi_protocol,
+                     "msi": msi_protocol}
+        for name, factory in factories.items():
+            protocol = factory()
+            verdict = check_parameterized(protocol)
+            assert verdict.discharged, name
+            spec = symmetry_spec_for(name)
+            for n in (2, 3, 4):
+                system = SymmetricSystem(RendezvousSystem(protocol, n), spec)
+                result = explore(system, name=f"{name}-oracle-{n}",
+                                 max_states=ORACLE_BUDGET,
+                                 reductions=("symmetry",))
+                assert result.completed, (name, n)
+                assert not result.deadlocks, (name, n)

@@ -60,7 +60,14 @@ class TestCleanProtocols:
     def test_passes_recorded(self, migratory):
         report = analyze_protocol(migratory)
         assert report.passes_run == ("restrictions", "reachability",
+                                     "overlap", "fusability",
+                                     "buffer-demand", "flows", "paramcheck")
+
+    def test_param_passes_can_be_excluded(self, migratory):
+        report = analyze_protocol(migratory, include_param=False)
+        assert report.passes_run == ("restrictions", "reachability",
                                      "overlap", "fusability", "buffer-demand")
+        assert not {c for c in report.codes() if c.startswith("P45")}
 
     def test_select_narrows(self, migratory):
         report = analyze_protocol(migratory, select=["P3301"])

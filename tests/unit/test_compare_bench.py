@@ -118,3 +118,83 @@ class TestMain:
         assert compare_bench.main([str(a), str(b)]) == 1
         assert compare_bench.main([str(a), str(b),
                                    "--tolerance", "0.5"]) == 0
+
+
+def make_cutoff_doc():
+    cell = {"n": 2, "n_states": 2042, "n_transitions": 6614,
+            "deadlocks": 0, "completed": True, "verdict": "no-deadlock",
+            "seconds": 0.5}
+    return {
+        "schema": "repro.bench_cutoff/1",
+        "budget": 60000,
+        "protocols": [{
+            "protocol": "invalidate",
+            "static_verdict": "deadlock-free-any-N",
+            "discharged": True,
+            "complete_cover": True,
+            "n_flows": 10,
+            "n_invariants": 16,
+            "witness_states": 723,
+            "exploration": [cell],
+            "stabilizes_at": 2,
+            "agreement": True,
+        }],
+    }
+
+
+class TestCompareCutoff:
+    def test_identical_passes(self):
+        doc = make_cutoff_doc()
+        errors, notes = compare_bench.compare(doc, copy.deepcopy(doc))
+        assert errors == [] and notes == []
+
+    def test_verdict_flip_fails(self):
+        base, cand = make_cutoff_doc(), make_cutoff_doc()
+        cand["protocols"][0]["static_verdict"] = "obligations"
+        cand["protocols"][0]["discharged"] = False
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("static_verdict" in e for e in errors)
+        assert any("discharged" in e for e in errors)
+
+    def test_stabilization_drift_fails(self):
+        base, cand = make_cutoff_doc(), make_cutoff_doc()
+        cand["protocols"][0]["stabilizes_at"] = 3
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("stabilizes_at" in e for e in errors)
+
+    def test_exploration_count_drift_fails(self):
+        base, cand = make_cutoff_doc(), make_cutoff_doc()
+        cand["protocols"][0]["exploration"][0]["n_states"] = 4000
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("n_states" in e for e in errors)
+
+    def test_new_deadlock_fails(self):
+        base, cand = make_cutoff_doc(), make_cutoff_doc()
+        cand["protocols"][0]["exploration"][0].update(
+            deadlocks=2, verdict="deadlock")
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("deadlocks" in e for e in errors)
+        assert any("verdict" in e for e in errors)
+
+    def test_timing_is_informational(self):
+        base, cand = make_cutoff_doc(), make_cutoff_doc()
+        cand["protocols"][0]["exploration"][0]["seconds"] = 300.0
+        errors, notes = compare_bench.compare(base, cand)
+        assert errors == [] and notes
+
+    def test_missing_protocol_fails(self):
+        base, cand = make_cutoff_doc(), make_cutoff_doc()
+        cand["protocols"] = []
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("row sets differ" in e for e in errors)
+
+    def test_schema_mismatch_fails_fast(self):
+        errors, _ = compare_bench.compare(make_doc(), make_cutoff_doc())
+        assert len(errors) == 1 and "schema" in errors[0]
+
+    def test_cli_accepts_cutoff_artifacts(self, tmp_path):
+        doc = make_cutoff_doc()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(doc))
+        b.write_text(json.dumps(doc))
+        assert compare_bench.main([str(a), str(b)]) == 0

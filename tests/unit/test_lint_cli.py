@@ -136,3 +136,41 @@ class TestCertificateCodes:
     def test_certificate_inventory_surfaces_in_lint(self, capsys):
         main(["lint", "migratory"])
         assert "P4405" in capsys.readouterr().out
+
+
+class TestPrefixSelection:
+    def test_select_family_prefix(self, capsys):
+        assert main(["lint", "migratory", "--json", "--select", "P45"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert codes and all(c.startswith("P45") for c in codes)
+
+    def test_prefix_and_exact_code_mix(self, capsys):
+        main(["lint", "migratory", "--json",
+              "--select", "P33", "--select", "P4505"])
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "P4505" in codes
+        assert codes - {"P4505"} <= {"P3301", "P3302", "P3303"}
+
+    def test_ignore_family_prefix(self, capsys):
+        assert main(["lint", "migratory", "--ignore", "P45"]) == 0
+        out = capsys.readouterr().out
+        assert "P45" not in out
+        assert "P3301" in out
+
+    def test_prefix_ignore_untrips_strict(self):
+        # the only migratory warning at n=4 is the P32xx buffer bound
+        assert main(["lint", "migratory", "--strict"]) == 1
+        assert main(["lint", "migratory", "--strict", "--ignore", "P32"]) == 0
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "migratory", "--select", "P99"])
+        assert "P99" in str(excinfo.value)
+
+    def test_overlapping_prefixes_rejected(self):
+        # P45 expands to a superset of P4505: the overlap must be caught
+        with pytest.raises(SystemExit):
+            main(["lint", "migratory",
+                  "--select", "P45", "--ignore", "P4505"])
