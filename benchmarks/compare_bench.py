@@ -10,7 +10,10 @@ The comparison dispatches on the document's ``schema`` field:
   throughput and reduction effectiveness;
 * ``repro.bench_cutoff/1`` (``BENCH_cutoff.json``) — the parameterized
   (P45xx) static verdict per protocol plus the bounded-exploration
-  cross-check at n = 2..4 and the stabilization cutoff.
+  cross-check at n = 2..4 and the stabilization cutoff;
+* ``repro.bench_param/1`` (``BENCH_param.json``) — the parameterized
+  coherence (P46xx) verdict per protocol plus the single-writer/SWMR
+  exploration cross-check at n = 2..4.
 
 Exit status 1 when any *deterministic* field drifts more than the
 tolerance (default 25%): state/transition/enabled counts, BFS depth,
@@ -128,6 +131,62 @@ def _compare_cutoff(baseline: dict, candidate: dict, tolerance: float,
                              f"{c.get('seconds')} (informational)")
 
 
+#: per-protocol fields of the param artifact that must match exactly
+PARAM_EXACT = ("static_verdict", "discharged", "candidates", "validated",
+               "n_lemmas", "iterations", "agreement")
+#: per-(protocol, n) exploration fields held to the drift tolerance
+PARAM_STRICT = ("n_states", "n_transitions", "violations")
+
+
+def _compare_param(baseline: dict, candidate: dict, tolerance: float,
+                   errors: list, notes: list) -> None:
+    old_by, new_by = ({p["protocol"]: p for p in doc["protocols"]}
+                      for doc in (baseline, candidate))
+    if set(old_by) != set(new_by):
+        errors.append(f"protocols: row sets differ: "
+                      f"missing={sorted(set(old_by) - set(new_by))} "
+                      f"extra={sorted(set(new_by) - set(old_by))}")
+        return
+    for name in sorted(old_by):
+        old, new = old_by[name], new_by[name]
+        for field in PARAM_EXACT:
+            if old.get(field) != new.get(field):
+                errors.append(f"{name}: {field} {old.get(field)} -> "
+                              f"{new.get(field)}")
+        drift = _rel_drift(old.get("abstract_states", 0),
+                           new.get("abstract_states", 0))
+        if drift > tolerance:
+            errors.append(f"{name}: abstract_states "
+                          f"{old.get('abstract_states')} -> "
+                          f"{new.get('abstract_states')} "
+                          f"({drift:.1%} > {tolerance:.0%})")
+        old_runs = {r["n"]: r for r in old["exploration"]}
+        new_runs = {r["n"]: r for r in new["exploration"]}
+        if set(old_runs) != set(new_runs):
+            errors.append(f"{name}: exploration sizes differ: "
+                          f"{sorted(old_runs)} -> {sorted(new_runs)}")
+            continue
+        for n in sorted(old_runs):
+            o, c = old_runs[n], new_runs[n]
+            label = f"{name}-n{n}"
+            if o["completed"] != c["completed"]:
+                errors.append(f"{label}: completed "
+                              f"{o['completed']} -> {c['completed']}")
+            if o.get("verdict") != c.get("verdict"):
+                errors.append(f"{label}: verdict {o.get('verdict')} -> "
+                              f"{c.get('verdict')}")
+            for field in PARAM_STRICT:
+                drift = _rel_drift(o[field], c[field])
+                if drift > tolerance:
+                    errors.append(f"{label}: {field} {o[field]} -> "
+                                  f"{c[field]} ({drift:.1%} > "
+                                  f"{tolerance:.0%})")
+            drift = _rel_drift(o.get("seconds", 0), c.get("seconds", 0))
+            if drift > tolerance:
+                notes.append(f"{label}: seconds {o.get('seconds')} -> "
+                             f"{c.get('seconds')} (informational)")
+
+
 def compare(baseline: dict, candidate: dict,
             tolerance: float = 0.25) -> tuple[list[str], list[str]]:
     """Return (errors, notes); empty errors means the diff passes."""
@@ -144,6 +203,9 @@ def compare(baseline: dict, candidate: dict,
         return errors, notes
     if baseline.get("schema") == "repro.bench_cutoff/1":
         _compare_cutoff(baseline, candidate, tolerance, errors, notes)
+        return errors, notes
+    if baseline.get("schema") == "repro.bench_param/1":
+        _compare_param(baseline, candidate, tolerance, errors, notes)
         return errors, notes
     _compare_runs("runs", baseline["runs"], candidate["runs"],
                   tolerance, errors, notes)
@@ -165,7 +227,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed benchmark artifact "
                                          "(BENCH_explore.json / "
-                                         "BENCH_cutoff.json)")
+                                         "BENCH_cutoff.json / "
+                                         "BENCH_param.json)")
     parser.add_argument("candidate", help="regenerated artifact of the "
                                           "same schema")
     parser.add_argument("--tolerance", type=float, default=0.25,

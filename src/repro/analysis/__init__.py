@@ -25,6 +25,10 @@ space is explored.  This subsystem makes that a first-class tool:
   (the transaction shapes between stable home states);
 * :mod:`~repro.analysis.paramcheck` — flow-based parameterized
   deadlock-freedom verdicts for arbitrary node counts (``P45xx``);
+* :mod:`~repro.analysis.coherencecheck` — parameterized single-writer /
+  SWMR verdicts through a flow-strengthened environment abstraction
+  (``P46xx``);
+* :mod:`~repro.analysis.sarif` — SARIF 2.1.0 export of any report;
 * :mod:`~repro.analysis.manager` — the pass manager
   (:func:`analyze_protocol` / :func:`analyze_refined`).
 
@@ -35,6 +39,7 @@ lives in ``docs/ANALYSIS.md``.
 """
 
 from .bufferdemand import home_buffer_bound, remote_demand
+from .coherencecheck import CoherenceLemma, CoherenceVerdict, check_coherence
 from .diagnostics import (
     CODES,
     AnalysisReport,
@@ -64,6 +69,8 @@ __all__ = [
     "AnalysisReport",
     "CertificateReport",
     "CodeInfo",
+    "CoherenceLemma",
+    "CoherenceVerdict",
     "Diagnostic",
     "Flow",
     "FlowGraph",
@@ -72,6 +79,7 @@ __all__ = [
     "analyze_protocol",
     "analyze_refined",
     "check_certificate",
+    "check_coherence",
     "check_parameterized",
     "derive_flows",
     "expand_codes",

@@ -140,6 +140,17 @@ CODES: dict[str, CodeInfo] = _registry(
              Severity.WARNING),
     CodeInfo("P4508", "conflicting flows share home states", "flows",
              Severity.WARNING),
+    # -- parameterized coherence (environment abstraction) -------------------
+    CodeInfo("P4601", "parameterized coherence discharged", "coherence",
+             Severity.INFO),
+    CodeInfo("P4602", "coherence refuted (two-concrete-node witness)",
+             "coherence", Severity.WARNING),
+    CodeInfo("P4603", "parameterized coherence inconclusive", "coherence",
+             Severity.WARNING),
+    CodeInfo("P4604", "noninterference lemma inventory", "coherence",
+             Severity.INFO),
+    CodeInfo("P4605", "environment abstraction unsound for this construct",
+             "coherence", Severity.WARNING),
 )
 
 

@@ -39,6 +39,7 @@ from .transients import transient_pass
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..refine.plan import RefinedProtocol, RefinementConfig
     from ..refine.reqreply import PairReport
+    from .coherencecheck import CoherenceVerdict
     from .flows import FlowGraph
 
 __all__ = ["PARAM_PASSES", "PROTOCOL_PASSES", "AnalysisCache",
@@ -61,6 +62,8 @@ class AnalysisCache:
     def __init__(self) -> None:
         self._reports: "Optional[tuple[PairReport, ...]]" = None
         self._graph: "Optional[FlowGraph]" = None
+        self._coherence: "Optional[CoherenceVerdict]" = None
+        self._coherence_done = False
 
     def pair_reports(self, protocol: Protocol,
                      strict_cycles: bool) -> "tuple[PairReport, ...]":
@@ -81,6 +84,22 @@ class AnalysisCache:
                 config=ctx.config,
                 strict_cycles=ctx.strict_cycles)
         return self._graph
+
+    def coherence_verdict(
+            self, ctx: "AnalysisContext") -> "Optional[CoherenceVerdict]":
+        """The parameterized coherence verdict, or ``None`` when no
+        coherence spec is registered for the protocol."""
+        if not self._coherence_done:
+            from ..protocols.invariants import COHERENCE_SPECS
+            from .coherencecheck import check_coherence
+
+            self._coherence_done = True
+            spec = COHERENCE_SPECS.get(ctx.protocol.name)
+            if spec is not None:
+                self._coherence = check_coherence(
+                    ctx.protocol, spec, graph=self.flow_graph(ctx),
+                    config=ctx.config)
+        return self._coherence
 
 
 @dataclass(frozen=True)
@@ -118,6 +137,7 @@ PROTOCOL_PASSES: tuple[tuple[str, PassFn], ...] = (
 PARAM_PASSES: tuple[tuple[str, PassFn], ...] = (
     ("flows", lambda ctx: _flows_pass(ctx)),
     ("paramcheck", lambda ctx: _paramcheck_pass(ctx)),
+    ("coherence", lambda ctx: _coherence_pass(ctx)),
 )
 
 REFINED_PASSES: tuple[tuple[str, PassFn], ...] = (
@@ -144,6 +164,19 @@ def _paramcheck_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
     except Exception as exc:
         return [_underivable(ctx, exc)]
     return paramcheck_pass(ctx.protocol, graph=graph, config=ctx.config)
+
+
+def _coherence_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
+    try:
+        verdict = ctx.cache.coherence_verdict(ctx)
+    except Exception as exc:
+        return [make(
+            "P4603", f"{ctx.protocol.name}:coherence",
+            f"flow graph could not be derived ({exc}); the parameterized "
+            "coherence check is inconclusive")]
+    if verdict is None:  # no registered coherence spec — nothing to check
+        return []
+    return list(verdict.obligations)
 
 
 def _underivable(ctx: AnalysisContext, exc: Exception) -> Diagnostic:

@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 export of analysis reports.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format code-scanning services ingest; exporting the
+P-code diagnostics lets CI annotate pull requests with lint findings
+(``repro lint all --format sarif`` uploaded via
+``github/codeql-action/upload-sarif``).
+
+The mapping is deliberately small: one *run* for the whole invocation,
+one *rule* per distinct diagnostic code (title and section from the
+:data:`~repro.analysis.diagnostics.CODES` registry), one *result* per
+diagnostic.  Protocol diagnostics have no file/line anchor, so each
+result carries a *logical location* — the ``subject:pass`` style
+location string the text renderer prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .. import __version__
+from .diagnostics import CODES, AnalysisReport, Severity
+
+__all__ = ["render_sarif"]
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: :class:`Severity` → SARIF ``level``.
+_LEVELS = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def render_sarif(reports: Iterable[AnalysisReport], *,
+                 tool_name: str = "repro-lint") -> str:
+    """Render one or more analysis reports as a SARIF 2.1.0 document."""
+    reports = list(reports)
+    codes = sorted({d.code for report in reports
+                    for d in report.diagnostics})
+    rule_index = {code: i for i, code in enumerate(codes)}
+
+    rules = []
+    for code in codes:
+        info = CODES.get(code)
+        rule = {
+            "id": code,
+            "name": code,
+            "shortDescription": {
+                "text": info.title if info else code},
+            "defaultConfiguration": {
+                "level": _LEVELS[info.default_severity]
+                if info else "warning"},
+        }
+        if info:
+            rule["properties"] = {"section": info.section}
+        rules.append(rule)
+
+    results = []
+    for report in reports:
+        for d in report.diagnostics:
+            text = d.message
+            if d.hint:
+                text += f" (hint: {d.hint})"
+            results.append({
+                "ruleId": d.code,
+                "ruleIndex": rule_index[d.code],
+                "level": _LEVELS[d.severity],
+                "message": {"text": text},
+                "locations": [{
+                    "logicalLocations": [{
+                        "fullyQualifiedName": d.location,
+                    }],
+                }],
+                "properties": {"subject": report.subject},
+            })
+
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "version": __version__,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2)

@@ -13,11 +13,16 @@ Commands:
   reachability, guard overlap, fusability, buffer demand, transients,
   the P44xx simulation certificate, the P45xx parameterized flow
   analysis) and print structured diagnostics (``--json`` for machines,
-  ``--strict`` to fail on warnings, ``--select CODE`` / ``--ignore CODE``
-  to filter — both accept family prefixes such as ``P45``).
+  ``--format sarif`` for code-scanning upload, ``--strict`` to fail on
+  warnings, ``--select CODE`` / ``--ignore CODE`` to filter — both
+  accept family prefixes such as ``P45``).
 * ``flows``    — derive the message-flow graph and print the
   parameterized deadlock-freedom verdict (``--json`` for machines,
   ``--dot`` for Graphviz, ``--strict`` to fail unless discharged).
+* ``paramverify`` — the parameterized coherence verdict (P46xx):
+  discharge single-writer/SWMR for every node count through the
+  flow-strengthened environment abstraction, or show the concrete
+  two-node refutation witness as an MSC.
 * ``refine``   — print the refinement plan and the refined state machines.
 * ``simulate`` — run the discrete-event simulator and print metrics
   (``--msc N`` renders a message-sequence chart of the first N events).
@@ -34,8 +39,11 @@ Examples::
     repro lint migratory --json
     repro lint all -n 8 --strict
     repro lint msi --select P45
+    repro lint all --format sarif > lint.sarif
     repro flows invalidate
     repro flows all --json
+    repro paramverify mesi
+    repro paramverify all --json --strict
     repro refine invalidate --figures
     repro simulate migratory -n 8 --workload hot --until 50000
     repro simulate migratory -n 3 --until 500 --msc 12
@@ -58,10 +66,7 @@ from .check.simulation import check_simulation
 from .protocols.handwritten import handwritten_migratory
 from .protocols.invalidate import invalidate_protocol
 from .protocols.invariants import (
-    INVALIDATE_SPEC,
-    MESI_SPEC,
-    MIGRATORY_SPEC,
-    MSI_SPEC,
+    COHERENCE_SPECS,
     async_structural_invariants,
     coherence_invariants,
 )
@@ -83,14 +88,6 @@ PROTOCOLS: dict[str, Callable] = {
     "invalidate": invalidate_protocol,
     "msi": msi_protocol,
 }
-
-SPECS = {
-    "mesi": MESI_SPEC,
-    "migratory": MIGRATORY_SPEC,
-    "invalidate": INVALIDATE_SPEC,
-    "msi": MSI_SPEC,
-}
-
 
 def _build(name: str):
     try:
@@ -114,7 +111,7 @@ def _config(args) -> RefinementConfig:
 def cmd_verify(args) -> int:
     _reject_rendezvous_por(args)
     protocol = _build(args.protocol)
-    invariants = list(coherence_invariants(SPECS[args.protocol]))
+    invariants = list(coherence_invariants(COHERENCE_SPECS[args.protocol]))
     if args.level == "rendezvous":
         system = RendezvousSystem(protocol, args.nodes)
     else:
@@ -215,8 +212,9 @@ def cmd_lint(args) -> int:
         config = _config(args)
     except RefinementError as exc:
         raise SystemExit(str(exc)) from None
+    fmt = args.format if args.format != "text" or not args.json else "json"
     worst: Optional[Severity] = None
-    outputs = []
+    reports = []
     for name in names:
         protocol = _build(name)
         try:
@@ -235,13 +233,19 @@ def cmd_lint(args) -> int:
         severity = report.max_severity
         if severity is not None and (worst is None or severity > worst):
             worst = severity
-        outputs.append(report.render_json() if args.json
-                       else report.render_text())
-    if args.json and len(outputs) > 1:
-        # one parseable document, not concatenated ones (CI consumes this)
-        print("[" + ",\n".join(outputs) + "]")
+        reports.append(report)
+    if fmt == "sarif":
+        from .analysis.sarif import render_sarif
+        print(render_sarif(reports))
+    elif fmt == "json":
+        outputs = [report.render_json() for report in reports]
+        if len(outputs) > 1:
+            # one parseable document, not concatenated ones (CI consumes this)
+            print("[" + ",\n".join(outputs) + "]")
+        else:
+            print("\n\n".join(outputs))
     else:
-        print("\n\n".join(outputs))
+        print("\n\n".join(report.render_text() for report in reports))
     threshold = Severity.WARNING if args.strict else Severity.ERROR
     return 1 if worst is not None and worst >= threshold else 0
 
@@ -283,6 +287,56 @@ def cmd_flows(args) -> int:
                      f"{verdict.witness_states} state(s))"]
             lines.extend(f"  {d.render()}" for d in verdict.obligations)
             outputs.append("\n".join(lines))
+    if args.json and len(outputs) > 1:
+        # one parseable document, not concatenated ones (CI consumes this)
+        print("[" + ",\n".join(outputs) + "]")
+    else:
+        print("\n\n".join(outputs))
+    return 0 if all_discharged or not args.strict else 1
+
+
+def cmd_paramverify(args) -> int:
+    import json
+
+    from .analysis.coherencecheck import check_coherence
+    from .analysis.flows import derive_flows
+    from .errors import RefinementError
+    from .viz.msc import render_counterexample_msc
+
+    names = sorted(PROTOCOLS) if args.protocol == "all" else [args.protocol]
+    try:
+        config = _config(args)
+    except RefinementError as exc:
+        raise SystemExit(str(exc)) from None
+    all_discharged = True
+    outputs = []
+    for name in names:
+        protocol = _build(name)
+        graph = derive_flows(protocol, config=config)
+        verdict = check_coherence(protocol, COHERENCE_SPECS[name],
+                                  graph=graph, config=config,
+                                  max_states=args.budget)
+        all_discharged = all_discharged and verdict.discharged
+        if args.json:
+            outputs.append(json.dumps(verdict.as_dict(), indent=2))
+            continue
+        lines = [
+            f"parameterized coherence for {name}: {verdict.status}",
+            f"  properties: {'; '.join(verdict.properties)}",
+            f"  abstraction: 2 concrete remotes + Other, "
+            f"{verdict.abstract_states} abstract state(s), "
+            f"{verdict.iterations} iteration(s)",
+            f"  lemmas: {verdict.candidates} candidate(s), "
+            f"{verdict.validated} validated, "
+            f"{len(verdict.lemmas)} promoted",
+        ]
+        lines.extend(f"  {d.render()}" for d in verdict.obligations)
+        if verdict.witness is not None:
+            lines.append("")
+            lines.append(f"refutation witness "
+                         f"({len(verdict.witness.steps)} steps):")
+            lines.append(render_counterexample_msc(verdict.witness, 2))
+        outputs.append("\n".join(lines))
     if args.json and len(outputs) > 1:
         # one parseable document, not concatenated ones (CI consumes this)
         print("[" + ",\n".join(outputs) + "]")
@@ -468,7 +522,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-progress-buffer", action="store_true",
                    help=argparse.SUPPRESS)  # accepted for _config() parity
     p.add_argument("--json", action="store_true",
-                   help="emit one JSON report per protocol")
+                   help="emit one JSON report per protocol "
+                        "(alias for --format json)")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text",
+                   help="output format; sarif emits one SARIF 2.1.0 "
+                        "document for code-scanning upload")
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on warnings, not just errors")
     p.add_argument("--select", action="append", metavar="CODE", default=[],
@@ -511,6 +570,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero unless deadlock freedom is "
                         "discharged for arbitrary N")
     p.set_defaults(func=cmd_flows)
+
+    p = sub.add_parser(
+        "paramverify",
+        help="parameterized coherence verdict (single-writer/SWMR, any N)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="examples:\n"
+               "  repro paramverify mesi\n"
+               "      discharge single-writer/SWMR for every node count\n"
+               "  repro paramverify all --json > paramverify-report.json\n"
+               "      machine-readable verdicts (CI artifact)\n"
+               "  repro paramverify all --strict\n"
+               "      exit 1 unless every protocol discharges (CI gate)")
+    p.add_argument("protocol", choices=sorted(PROTOCOLS) + ["all"],
+                   help="library protocol to verify, or 'all'")
+    p.add_argument("--buffer", type=int, default=2,
+                   help="home buffer capacity k (default 2)")
+    p.add_argument("--no-reqreply", action="store_true",
+                   help="disable the section 3.3 optimization")
+    p.add_argument("--no-progress-buffer", action="store_true",
+                   help=argparse.SUPPRESS)  # accepted for _config() parity
+    p.add_argument("--budget", type=int, default=50_000,
+                   help="state budget per abstract exploration "
+                        "(default 50000)")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON verdict per protocol")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero unless coherence is discharged "
+                        "for arbitrary N")
+    p.set_defaults(func=cmd_paramverify)
 
     p = sub.add_parser("refine", help="show the refinement result")
     common(p)

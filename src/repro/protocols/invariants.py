@@ -35,6 +35,8 @@ __all__ = [
     "INVALIDATE_SPEC",
     "MSI_SPEC",
     "MESI_SPEC",
+    "COHERENCE_SPECS",
+    "coherence_spec_for",
     "holders",
     "coherence_invariants",
     "async_structural_invariants",
@@ -82,6 +84,27 @@ MESI_SPEC = CoherenceSpec(
     exclusive=frozenset({"E", "M", "E.ev", "M.lr", "M.id", "M.dd"}),
     shared=frozenset({"S", "S.ev", "S.ia", "E.dc", "E.ic"}),
 )
+
+
+#: The one registry mapping library protocol names to their coherence
+#: specs; the CLI, the parameterized coherence checker and the tests all
+#: import this instead of keeping private copies.
+COHERENCE_SPECS: dict[str, CoherenceSpec] = {
+    "invalidate": INVALIDATE_SPEC,
+    "mesi": MESI_SPEC,
+    "migratory": MIGRATORY_SPEC,
+    "msi": MSI_SPEC,
+}
+
+
+def coherence_spec_for(name: str) -> CoherenceSpec:
+    """Look up the registered spec for a library protocol name."""
+    try:
+        return COHERENCE_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"no coherence spec registered for {name!r}; known: "
+            f"{', '.join(sorted(COHERENCE_SPECS))}") from None
 
 
 def holders(state: Any, permission_states: frozenset[str]) -> list[int]:

@@ -18,11 +18,11 @@ Use ``Simulator(..., record_trace=True)`` and pass ``simulator.trace``.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from ..sim.trace import TraceEvent
 
-__all__ = ["render_msc"]
+__all__ = ["render_counterexample_msc", "render_msc"]
 
 _LANE_WIDTH = 18
 
@@ -53,6 +53,44 @@ def render_msc(events: Iterable[TraceEvent], n_remotes: int,
     if max_events is not None and len(shown) > max_events:
         lines.append(f"... ({len(shown) - max_events} more events)")
     return "\n".join(lines)
+
+
+def render_counterexample_msc(cex: Any, n_remotes: int,
+                              *, max_events: Optional[int] = None) -> str:
+    """Render an explorer :class:`~repro.check.stats.Counterexample`
+    over rendezvous actions as a message-sequence chart.
+
+    Rendezvous steps become delivery arrows from the active to the
+    passive party; tau steps become ``✓`` marks on their process's
+    lifeline.  Used by ``repro paramverify`` to show concrete coherence
+    refutation witnesses; works for any trace whose steps are
+    :class:`~repro.semantics.rendezvous.TauStep` /
+    :class:`~repro.semantics.rendezvous.RendezvousStep` actions.
+    """
+    from ..semantics.rendezvous import RendezvousStep, TauStep
+    from ..semantics.state import HOME_ID
+
+    def lane(proc: Any) -> str:
+        return "h" if proc == HOME_ID else f"r{proc}"
+
+    events = []
+    for index, step in enumerate(cex.steps):
+        time = float(index)
+        if isinstance(step, RendezvousStep):
+            events.append(TraceEvent(
+                time=time, kind="deliver", src=lane(step.active),
+                dst=lane(step.passive), label=step.msg,
+                payload=step.payload))
+        elif isinstance(step, TauStep):
+            who = lane(step.proc)
+            events.append(TraceEvent(time=time, kind="complete", src=who,
+                                     dst=who, label=f"τ:{step.label}"))
+        else:  # abstract/foreign actions: annotate on the home lifeline
+            describe = getattr(step, "describe", None)
+            label = describe() if callable(describe) else repr(step)
+            events.append(TraceEvent(time=time, kind="complete", src="h",
+                                     dst="h", label=label))
+    return render_msc(events, n_remotes, max_events=max_events)
 
 
 def _render_row(event: TraceEvent, lanes: list[str],

@@ -1,0 +1,185 @@
+"""Property-based soundness of the parameterized coherence verdict.
+
+Like the P45xx differential, the coherence checker makes a one-sided
+claim: it may fail to discharge a coherent protocol (inconclusive
+verdicts are allowed and counted), but a ``discharged`` verdict is a
+theorem for *every* node count — so bounded exploration must never be
+able to refute it.  Two directions are pinned here:
+
+* over hypothesis-random protocols with synthesized coherence specs,
+  a discharge implies the explicit-state explorer finds no violation
+  at n = 2..4 (the same oracle the bench harness commits);
+* over the library protocols, corrupting one refined control target
+  with :meth:`~repro.refine.transitions.StepTable.mutate` must not
+  produce a machine that is simultaneously coherence-violating *and*
+  certified — a discharge only transfers to the asynchronous machine
+  through a clean P44xx certificate, so the certificate must convict
+  any mutant the coherence oracle convicts.
+"""
+
+from hypothesis import (
+    HealthCheck,
+    assume,
+    given,
+    note,
+    settings,
+    strategies as st,
+)
+
+from repro import AsyncSystem, refine
+from repro.analysis.coherencecheck import check_coherence
+from repro.analysis.diagnostics import Severity
+from repro.analysis.simulation import check_certificate
+from repro.check.explorer import explore
+from repro.errors import ReproError
+from repro.gen import GeneratorParams, random_protocol
+from repro.protocols import (
+    invalidate_protocol,
+    mesi_protocol,
+    migratory_protocol,
+    msi_protocol,
+)
+from repro.protocols.invariants import (
+    COHERENCE_SPECS,
+    CoherenceSpec,
+    coherence_invariants,
+)
+from repro.refine.transitions import build_step_table
+from repro.semantics.rendezvous import RendezvousSystem
+
+SMALL = GeneratorParams(n_remote_states=3, n_home_states=3,
+                        n_remote_msgs=2, n_home_msgs=2)
+
+lenient = settings(max_examples=20, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow,
+                                          HealthCheck.data_too_large,
+                                          HealthCheck.filter_too_much])
+
+#: per-instance oracle budget; generated protocols are tiny, so a
+#: truncated run means something is badly wrong — treat it as such
+ORACLE_BUDGET = 50_000
+
+FACTORIES = {
+    "invalidate": invalidate_protocol,
+    "mesi": mesi_protocol,
+    "migratory": migratory_protocol,
+    "msi": msi_protocol,
+}
+
+
+@st.composite
+def specced_protocols(draw):
+    """A random protocol plus a synthesized coherence spec over disjoint
+    exclusive/shared subsets of its remote states."""
+    seed = draw(st.integers(0, 10_000))
+    protocol = random_protocol(seed, SMALL)
+    states = sorted(protocol.remote.states)
+    exclusive = frozenset(
+        draw(st.sets(st.sampled_from(states), min_size=1)))
+    rest = sorted(set(states) - exclusive)
+    shared = (frozenset(draw(st.sets(st.sampled_from(rest))))
+              if rest else frozenset())
+    spec = CoherenceSpec(name=protocol.name, exclusive=exclusive,
+                         shared=shared)
+    return protocol, spec
+
+
+def violation_found(protocol, spec, n: int) -> bool:
+    result = explore(RendezvousSystem(protocol, n),
+                     name=f"{protocol.name}-coherence-oracle-{n}",
+                     invariants=list(coherence_invariants(spec)),
+                     stop_on_violation=False, allow_deadlock=True,
+                     max_states=ORACLE_BUDGET)
+    assert result.completed, f"coherence oracle truncated at n={n}"
+    return bool(result.violations)
+
+
+class TestStaticVerdictIsSound:
+    @lenient
+    @given(specced_protocols())
+    def test_discharged_implies_no_bounded_violation(self, case):
+        protocol, spec = case
+        verdict = check_coherence(protocol, spec)
+        note(f"verdict: {verdict.status}, {verdict.candidates} candidate "
+             f"lemma(s), {verdict.iterations} iteration(s)")
+        if not verdict.discharged:
+            # incompleteness is allowed; soundness only binds discharges
+            return
+        for n in (2, 3, 4):
+            assert not violation_found(protocol, spec, n), (
+                f"discharged verdict refuted by exploration at n={n}")
+
+    @lenient
+    @given(specced_protocols())
+    def test_refutations_carry_a_real_witness(self, case):
+        protocol, spec = case
+        verdict = check_coherence(protocol, spec)
+        if verdict.status != "refuted":
+            return
+        # a refutation is a concrete two-node trace, so the two-node
+        # oracle must agree (the checker replays it before reporting)
+        assert verdict.witness is not None
+        assert violation_found(protocol, spec, 2)
+
+
+def has_errors(report) -> bool:
+    return any(d.severity >= Severity.ERROR for d in report.diagnostics)
+
+
+def async_coherence_violated(refined, table, spec) -> bool:
+    """Bounded coherence verdict on a (possibly mutant) refined machine.
+
+    A raised semantics error counts as a conviction — the mutant broke
+    the machine either way.  Truncating without a violation is *not*
+    evidence of one.
+    """
+    try:
+        result = explore(AsyncSystem(refined, 2, table=table),
+                         name=f"{refined.name}-mutant-coherence",
+                         invariants=list(coherence_invariants(spec)),
+                         stop_on_violation=False, allow_deadlock=True,
+                         max_states=4_000, max_seconds=5)
+    except ReproError:
+        return True
+    return bool(result.violations)
+
+
+class TestMutantsCannotLaunderADischarge:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large,
+                                     HealthCheck.filter_too_much])
+    @given(st.data())
+    def test_certificate_convicts_coherence_breaking_mutants(self, data):
+        name = data.draw(st.sampled_from(sorted(COHERENCE_SPECS)),
+                         label="protocol")
+        protocol = FACTORIES[name]()
+        spec = COHERENCE_SPECS[name]
+        assert check_coherence(protocol, spec).discharged
+
+        refined = refine(protocol)
+        table = build_step_table(refined)
+        rows = list(table)
+        row = rows[data.draw(st.integers(0, len(rows) - 1), label="row")]
+        process = (refined.protocol.home if row.role == "home"
+                   else refined.protocol.remote)
+        target = data.draw(st.sampled_from(sorted(process.states)),
+                           label="target")
+        field = data.draw(st.sampled_from(["rewind_to", "forward_to"]),
+                          label="field")
+        assume(getattr(row, field) != target)
+        mutant = table.mutate(row.role, row.state, row.out_index,
+                              **{field: target})
+
+        try:
+            report = check_certificate(refined, table=mutant)
+        except ReproError:
+            # the checker refused to even enumerate obligations for the
+            # corrupted table — the discharge cannot transfer through it
+            return
+        assume(report.complete)
+        if async_coherence_violated(refined, mutant, spec):
+            assert has_errors(report), (
+                f"mutant {field}={target!r} on {row.describe()} violates "
+                f"coherence but the certificate is clean — the discharged "
+                f"static verdict would be laundered onto a broken machine")

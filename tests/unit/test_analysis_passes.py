@@ -61,7 +61,8 @@ class TestCleanProtocols:
         report = analyze_protocol(migratory)
         assert report.passes_run == ("restrictions", "reachability",
                                      "overlap", "fusability",
-                                     "buffer-demand", "flows", "paramcheck")
+                                     "buffer-demand", "flows", "paramcheck",
+                                     "coherence")
 
     def test_param_passes_can_be_excluded(self, migratory):
         report = analyze_protocol(migratory, include_param=False)

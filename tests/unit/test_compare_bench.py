@@ -198,3 +198,98 @@ class TestCompareCutoff:
         a.write_text(json.dumps(doc))
         b.write_text(json.dumps(doc))
         assert compare_bench.main([str(a), str(b)]) == 0
+
+
+def make_param_doc():
+    cell = {"n": 2, "n_states": 2387, "n_transitions": 7978,
+            "violations": 0, "completed": True, "verdict": "coherent",
+            "seconds": 0.3}
+    return {
+        "schema": "repro.bench_param/1",
+        "budget": 120000,
+        "protocols": [{
+            "protocol": "invalidate",
+            "static_verdict": "discharged",
+            "discharged": True,
+            "candidates": 11,
+            "validated": 11,
+            "n_lemmas": 0,
+            "iterations": 1,
+            "abstract_states": 6174,
+            "exploration": [cell],
+            "agreement": True,
+        }],
+    }
+
+
+class TestCompareParam:
+    def test_identical_passes(self):
+        doc = make_param_doc()
+        errors, notes = compare_bench.compare(doc, copy.deepcopy(doc))
+        assert errors == [] and notes == []
+
+    def test_verdict_flip_fails(self):
+        base, cand = make_param_doc(), make_param_doc()
+        cand["protocols"][0]["static_verdict"] = "inconclusive"
+        cand["protocols"][0]["discharged"] = False
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("static_verdict" in e for e in errors)
+        assert any("discharged" in e for e in errors)
+
+    def test_lemma_inventory_drift_fails(self):
+        base, cand = make_param_doc(), make_param_doc()
+        cand["protocols"][0].update(n_lemmas=2, iterations=3)
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("n_lemmas" in e for e in errors)
+        assert any("iterations" in e for e in errors)
+
+    def test_abstract_state_drift_fails_beyond_tolerance(self):
+        base, cand = make_param_doc(), make_param_doc()
+        cand["protocols"][0]["abstract_states"] = 60000
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("abstract_states" in e for e in errors)
+
+    def test_new_violation_fails(self):
+        base, cand = make_param_doc(), make_param_doc()
+        cand["protocols"][0]["exploration"][0].update(
+            violations=1, verdict="violated")
+        cand["protocols"][0]["agreement"] = False
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("violations" in e for e in errors)
+        assert any("verdict" in e for e in errors)
+        assert any("agreement" in e for e in errors)
+
+    def test_timing_is_informational(self):
+        base, cand = make_param_doc(), make_param_doc()
+        cand["protocols"][0]["exploration"][0]["seconds"] = 300.0
+        errors, notes = compare_bench.compare(base, cand)
+        assert errors == [] and notes
+
+    def test_budget_mismatch_fails_fast(self):
+        base, cand = make_param_doc(), make_param_doc()
+        cand["budget"] = 60000
+        errors, _ = compare_bench.compare(base, cand)
+        assert len(errors) == 1 and "budget" in errors[0]
+
+    def test_schema_mismatch_fails_fast(self):
+        errors, _ = compare_bench.compare(make_param_doc(),
+                                          make_cutoff_doc())
+        assert len(errors) == 1 and "schema" in errors[0]
+
+    def test_cli_accepts_param_artifacts(self, tmp_path):
+        doc = make_param_doc()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(doc))
+        b.write_text(json.dumps(doc))
+        assert compare_bench.main([str(a), str(b)]) == 0
+
+    def test_committed_artifact_self_compares(self):
+        path = Path(__file__).parent.parent.parent / "BENCH_param.json"
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.bench_param/1"
+        errors, _ = compare_bench.compare(doc, copy.deepcopy(doc))
+        assert errors == []
+        # the committed artifact must show zero unsound cells
+        for row in doc["protocols"]:
+            assert row["agreement"], row["protocol"]
+            assert row["discharged"], row["protocol"]

@@ -174,3 +174,35 @@ class TestPrefixSelection:
         with pytest.raises(SystemExit):
             main(["lint", "migratory",
                   "--select", "P45", "--ignore", "P4505"])
+
+
+class TestSarifOutput:
+    def test_sarif_is_valid_and_versioned(self, capsys):
+        assert main(["lint", "migratory", "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        assert len(doc["runs"]) == 1
+
+    def test_rules_cover_results_and_levels_map(self, capsys):
+        main(["lint", "all", "--format", "sarif"])
+        run = json.loads(capsys.readouterr().out)["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        rule_ids = [r["id"] for r in rules]
+        assert rule_ids == sorted(rule_ids)
+        for result in run["results"]:
+            assert result["ruleId"] == rules[result["ruleIndex"]]["id"]
+            assert result["level"] in {"note", "warning", "error"}
+            location = result["locations"][0]["logicalLocations"][0]
+            assert location["fullyQualifiedName"]
+
+    def test_coherence_discharge_appears_as_note(self, capsys):
+        main(["lint", "msi", "--format", "sarif"])
+        run = json.loads(capsys.readouterr().out)["runs"][0]
+        discharges = [r for r in run["results"] if r["ruleId"] == "P4601"]
+        assert discharges and all(r["level"] == "note" for r in discharges)
+
+    def test_format_json_is_json_alias(self, capsys):
+        assert main(["lint", "migratory", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["subject"] == "migratory-async"
