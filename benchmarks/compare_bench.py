@@ -6,8 +6,10 @@ CI regenerates the artifact at the same pinned budget and calls::
 
 The comparison dispatches on the document's ``schema`` field:
 
-* ``repro.bench_explore/1`` (``BENCH_explore.json``) — exploration
-  throughput and reduction effectiveness;
+* ``repro.bench_explore/2`` (``BENCH_explore.json``) — exploration
+  throughput and reduction effectiveness, one row per (protocol, n,
+  config, engine); ``/1`` (no ``engine`` field, interpreted-only
+  baselines) is still accepted;
 * ``repro.bench_cutoff/1`` (``BENCH_cutoff.json``) — the parameterized
   (P45xx) static verdict per protocol plus the bounded-exploration
   cross-check at n = 2..4 and the stabilization cutoff;
@@ -25,6 +27,12 @@ must ship with a regenerated baseline once they exceed it.  Timing
 fields (``seconds``, ``states_per_sec``) and store byte sizes
 (``approx_bytes`` — Python-version dependent) are reported but never
 fail the diff.
+
+For ``/2`` explore documents an additional *cross-engine* invariant is
+enforced within each document: rows that differ only in ``engine`` must
+have **exactly** equal deterministic fields — the compiled engine is
+required to reproduce the interpreter's counts byte-for-byte, with no
+tolerance.  Only the timing fields may differ between engines.
 """
 
 from __future__ import annotations
@@ -39,7 +47,9 @@ INFO_FIELDS = ("states_per_sec", "approx_bytes", "seconds")
 
 
 def _key(run: dict[str, Any]) -> tuple:
-    return (run["protocol"], run["n"], run["config"])
+    # /1 rows predate the step engines; they were all interpreted
+    return (run["protocol"], run["n"], run["config"],
+            run.get("engine", "interpreted"))
 
 
 def _rel_drift(old: float, new: float) -> float:
@@ -60,7 +70,7 @@ def _compare_runs(section: str, old_runs: list, new_runs: list,
         return
     for key in sorted(old_by):
         old, new = old_by[key], new_by[key]
-        label = f"{section} {key[0]}-n{key[1]}-{key[2]}"
+        label = f"{section} {key[0]}-n{key[1]}-{key[2]}-{key[3]}"
         if old["completed"] != new["completed"]:
             errors.append(f"{label}: completed "
                           f"{old['completed']} -> {new['completed']}")
@@ -80,6 +90,31 @@ def _compare_runs(section: str, old_runs: list, new_runs: list,
             if drift > tolerance:
                 notes.append(f"{label}: {field} {old.get(field)} -> "
                              f"{new.get(field)} (informational)")
+
+
+#: deterministic per-row fields that must agree *exactly* across engines
+#: (the compiled engine's whole contract is byte-identical counts)
+CROSS_ENGINE_EXACT = STRICT_FIELDS + ("completed", "transition_pruning")
+
+
+def _check_cross_engine(section: str, runs: list, errors: list) -> None:
+    """Within one document, rows differing only in engine must have
+    exactly equal deterministic fields (no tolerance)."""
+    by_cell: dict[tuple, list[dict]] = {}
+    for run in runs:
+        by_cell.setdefault(_key(run)[:3], []).append(run)
+    for cell, rows in sorted(by_cell.items()):
+        if len(rows) < 2:
+            continue
+        reference = rows[0]
+        for row in rows[1:]:
+            for field in CROSS_ENGINE_EXACT:
+                if row.get(field) != reference.get(field):
+                    errors.append(
+                        f"{section} {cell[0]}-n{cell[1]}-{cell[2]}: "
+                        f"{field} differs across engines: "
+                        f"{reference.get('engine')}={reference.get(field)} "
+                        f"vs {row.get('engine')}={row.get(field)}")
 
 
 #: per-protocol fields of the cutoff artifact that must match exactly
@@ -211,6 +246,11 @@ def compare(baseline: dict, candidate: dict,
                   tolerance, errors, notes)
     _compare_runs("headline", baseline["headline"]["runs"],
                   candidate["headline"]["runs"], tolerance, errors, notes)
+    if baseline.get("schema") == "repro.bench_explore/2":
+        for label, doc in (("baseline", baseline), ("candidate", candidate)):
+            _check_cross_engine(f"{label} runs", doc["runs"], errors)
+            _check_cross_engine(f"{label} headline",
+                                doc["headline"]["runs"], errors)
     old_red = baseline["headline"]["reductions"]
     new_red = candidate["headline"]["reductions"]
     for name in sorted(set(old_red) | set(new_red)):

@@ -7,17 +7,22 @@ the paper's two protocols — plus the human-readable
 
 Two sections with two regeneration policies:
 
-* ``runs`` — every (protocol, n, config) cell explored at a *pinned*
-  state budget (``REPRO_BENCH_EXPLORE_BUDGET``, default 4000, exact
-  store).  BFS order is deterministic, so every count in this section is
-  bit-reproducible across machines and Python versions; CI regenerates
-  it and diffs against the committed file (``compare_bench.py``, ±25%
-  on deterministic fields, timing and byte sizes exempt).
+* ``runs`` — every (protocol, n, config, engine) cell explored at a
+  *pinned* state budget (``REPRO_BENCH_EXPLORE_BUDGET``, default 4000,
+  exact store).  BFS order is deterministic and engine-independent, so
+  every count in this section is bit-reproducible across machines and
+  Python versions; CI regenerates it and diffs against the committed
+  file (``compare_bench.py``, ±25% on deterministic fields, timing and
+  byte sizes exempt, counts *exactly* equal across engines).
 * ``headline`` — the *complete* explorations behind the prose claims
-  (invalidate n=4 takes ~10 minutes under symmetry alone).  Regenerated
-  only under ``REPRO_BENCH_FULL=1``; otherwise carried over verbatim
-  from the committed artifact so a default benchmark run never silently
-  replaces a 10-minute measurement with a truncated one.
+  (invalidate n=4 takes ~10 minutes under symmetry alone with the
+  interpreter).  Regenerated only under ``REPRO_BENCH_FULL=1``;
+  otherwise carried over verbatim from the committed artifact so a
+  default benchmark run never silently replaces a 10-minute measurement
+  with a truncated one.  The compiled engine's headline rows include
+  the unreduced invalidate n=4 cell (~10^7 states), which no
+  interpreted configuration completes in practical time — that cell
+  deliberately has no interpreted twin.
 
 The acceptance claims asserted here, against whichever headline data is
 active:
@@ -46,22 +51,30 @@ from repro.check.explorer import explore
 from repro.check.parallel import SystemSpec, build_system
 
 BENCH_PATH = Path(__file__).parent.parent / "BENCH_explore.json"
-BENCH_SCHEMA = "repro.bench_explore/1"
+BENCH_SCHEMA = "repro.bench_explore/2"
 
 PROTOCOLS = ("migratory", "invalidate")
 SIZES = (3, 4)
+ENGINES = ("interpreted", "compiled")
 CONFIGS = {
     "full": dict(),
     "por": dict(por=True),
     "symmetry": dict(symmetry=True),
     "symmetry+por": dict(symmetry=True, por=True),
 }
+#: (protocol, n, config, engine) — every interpreted row has a compiled
+#: twin except unreduced invalidate n=4, which only the compiled engine
+#: completes in practical time (~10^7 states).
 HEADLINE_ROWS = [
-    ("migratory", 3, "full"), ("migratory", 3, "por"),
-    ("migratory", 4, "full"), ("migratory", 4, "por"),
-    ("invalidate", 3, "full"), ("invalidate", 3, "por"),
-    ("invalidate", 4, "symmetry"), ("invalidate", 4, "symmetry+por"),
-]
+    (p, n, c, engine)
+    for engine in ENGINES
+    for p, n, c in [
+        ("migratory", 3, "full"), ("migratory", 3, "por"),
+        ("migratory", 4, "full"), ("migratory", 4, "por"),
+        ("invalidate", 3, "full"), ("invalidate", 3, "por"),
+        ("invalidate", 4, "symmetry"), ("invalidate", 4, "symmetry+por"),
+    ]
+] + [("invalidate", 4, "full", "compiled")]
 
 
 class _Levels:
@@ -80,11 +93,14 @@ class _Levels:
         pass
 
 
-def measure(protocol, n, config, *, max_states=None, store="exact"):
-    spec = SystemSpec(protocol, "async", n, **CONFIGS[config])
+def measure(protocol, n, config, engine="interpreted", *,
+            max_states=None, store="exact"):
+    spec = SystemSpec(protocol, "async", n, engine=engine,
+                      **CONFIGS[config])
     levels = _Levels()
     t0 = time.perf_counter()
-    result = explore(build_system(spec), name=f"{protocol}-{n}-{config}",
+    result = explore(build_system(spec),
+                     name=f"{protocol}-{n}-{config}-{engine}",
                      max_states=max_states, store=store, observer=levels,
                      reductions=spec.reductions())
     seconds = time.perf_counter() - t0
@@ -92,7 +108,7 @@ def measure(protocol, n, config, *, max_states=None, store="exact"):
     if result.n_enabled > result.n_transitions:
         pruning = 1.0 - result.n_transitions / result.n_enabled
     return {
-        "protocol": protocol, "n": n, "config": config,
+        "protocol": protocol, "n": n, "config": config, "engine": engine,
         "n_states": result.n_states,
         "n_transitions": result.n_transitions,
         "n_enabled": result.n_enabled,
@@ -123,13 +139,14 @@ def explore_budget() -> int:
 
 
 def test_bench_explore(benchmark, results_dir, explore_budget):
-    runs = [measure(protocol, n, config, max_states=explore_budget)
-            for protocol in PROTOCOLS for n in SIZES for config in CONFIGS]
+    runs = [measure(protocol, n, config, engine, max_states=explore_budget)
+            for protocol in PROTOCOLS for n in SIZES for config in CONFIGS
+            for engine in ENGINES]
 
     # -- headline: complete runs, regenerated only on request ----------------
     if os.environ.get("REPRO_BENCH_FULL") == "1":
-        headline = [measure(p, n, c, store="fingerprint")
-                    for p, n, c in HEADLINE_ROWS]
+        headline = [measure(p, n, c, e, store="fingerprint")
+                    for p, n, c, e in HEADLINE_ROWS]
     else:
         committed = json.loads(BENCH_PATH.read_text())
         assert committed["schema"] == BENCH_SCHEMA
@@ -160,23 +177,25 @@ def test_bench_explore(benchmark, results_dir, explore_budget):
 
     # -- human-readable summary ----------------------------------------------
     lines = ["Ample-set POR: expanded states, complete explorations:", "",
-             f"{'protocol':<12} {'N':>3} {'config':<14} {'states':>10} "
-             f"{'transitions':>12} {'pruned':>8}"]
+             f"{'protocol':<12} {'N':>3} {'config':<14} {'engine':<12} "
+             f"{'states':>10} {'transitions':>12} {'st/s':>8} {'pruned':>8}"]
     for r in headline:
         pruned = (f"{r['transition_pruning']:.1%}"
                   if r["transition_pruning"] else "-")
         lines.append(f"{r['protocol']:<12} {r['n']:>3} {r['config']:<14} "
+                     f"{r.get('engine', 'interpreted'):<12} "
                      f"{r['n_states']:>10} {r['n_transitions']:>12} "
-                     f"{pruned:>8}")
+                     f"{r['states_per_sec']:>8} {pruned:>8}")
     lines.append("")
     lines.append("state reduction from --por (1 - reduced/baseline):")
     for name, value in reductions.items():
         rendered = f"{value:.1%}" if value is not None else "n/a"
         lines.append(f"  {name:<44} {rendered}")
     lines.append("")
-    lines.append("unreduced invalidate n=4 is Unfinished at any practical "
-                 "budget (~10^7 states); the n=4 comparison therefore uses "
-                 "the symmetry-reduced space as baseline.")
+    lines.append("unreduced invalidate n=4 (~8.3M states) completes only "
+                 "with the compiled engine; the interpreted engine leaves "
+                 "it Unfinished at any practical budget, so the n=4 POR "
+                 "comparison uses the symmetry-reduced space as baseline.")
     write_report(results_dir, "por_reduction.txt", "\n".join(lines))
 
     # -- acceptance assertions -----------------------------------------------
@@ -187,13 +206,23 @@ def test_bench_explore(benchmark, results_dir, explore_budget):
     for r in runs:
         if "por" in r["config"]:
             assert r["transition_pruning"] > 0
+    # the compiled engine must reproduce the interpreter's counts
+    # byte-for-byte in every budgeted cell (the /2 cross-engine contract)
+    cells: dict[tuple, set] = {}
+    for r in runs:
+        cells.setdefault((r["protocol"], r["n"], r["config"]), set()).add(
+            (r["n_states"], r["n_transitions"], r["n_enabled"],
+             r["depth"], r["completed"]))
+    for cell, observed in cells.items():
+        assert len(observed) == 1, f"engines disagree on {cell}: {observed}"
     # reduction never grows the state count at equal budget+depth: compare
     # cumulative states only when the reduced run is complete (otherwise
     # depths differ and raw counts are not comparable)
-    by_key = {(r["protocol"], r["n"], r["config"]): r for r in runs}
-    for (protocol, n, config), r in by_key.items():
+    by_key = {(r["protocol"], r["n"], r["config"], r["engine"]): r
+              for r in runs}
+    for (protocol, n, config, engine), r in by_key.items():
         if config == "por" and r["completed"]:
-            full = by_key[(protocol, n, "full")]
+            full = by_key[(protocol, n, "full", engine)]
             if full["completed"]:
                 assert r["n_states"] <= full["n_states"]
 

@@ -40,7 +40,7 @@ from .stats import Counterexample, ExplorationResult
 from .store import StateStore, StoreSpec, make_store
 
 __all__ = ["System", "Invariant", "ExplorationCore", "expand_state",
-           "explore"]
+           "explore", "system_engine"]
 
 
 class System(Protocol):
@@ -53,6 +53,25 @@ class System(Protocol):
 
 #: An invariant is a named predicate over single states.
 Invariant = tuple[str, Callable[[Any], bool]]
+
+
+def system_engine(system: System) -> str:
+    """The step-engine name of ``system``, for run provenance.
+
+    Unwraps reduction wrappers (:class:`~repro.check.por.PORSystem`,
+    :class:`~repro.check.symmetry.SymmetricSystem`) through their
+    ``inner`` attribute; systems without an engine notion (rendezvous,
+    toy test systems) report ``"interpreted"``.
+    """
+    obj: Any = system
+    for _ in range(8):  # defensive bound on wrapper depth
+        engine = getattr(obj, "engine", None)
+        if isinstance(engine, str):
+            return engine
+        obj = getattr(obj, "inner", None)
+        if obj is None:
+            break
+    return "interpreted"
 
 
 def expand_state(system: System,
@@ -92,7 +111,8 @@ class ExplorationCore:
                  max_states: Optional[int] = None,
                  max_seconds: Optional[float] = None,
                  workers: int = 1,
-                 reductions: tuple[str, ...] = ()) -> None:
+                 reductions: tuple[str, ...] = (),
+                 engine: str = "interpreted") -> None:
         self.name = name
         self.store: StateStore = make_store(store)
         self.observer: RunObserver = (observer if observer is not None
@@ -101,6 +121,7 @@ class ExplorationCore:
         self.max_seconds = max_seconds
         self.workers = workers
         self.reductions = reductions
+        self.engine = engine
         self.t0 = time.perf_counter()
         self.n_transitions = 0
         #: transitions enabled before reduction (== n_transitions when no
@@ -114,7 +135,7 @@ class ExplorationCore:
         self.observer.on_start(RunInfo(
             name=self.name, store=self.store.name, workers=self.workers,
             max_states=self.max_states, max_seconds=self.max_seconds,
-            reductions=self.reductions))
+            reductions=self.reductions, engine=self.engine))
 
     def elapsed(self) -> float:
         return time.perf_counter() - self.t0
@@ -186,6 +207,7 @@ def explore(
     store: StoreSpec = "exact",
     observer: Optional[RunObserver] = None,
     reductions: tuple[str, ...] = (),
+    engine: Optional[str] = None,
 ) -> ExplorationResult:
     """Breadth-first reachability analysis of ``system``.
 
@@ -211,13 +233,20 @@ def explore(
     :param reductions: names of the state-space reductions baked into
         ``system`` (e.g. ``("symmetry", "por")``), recorded in the run
         info and the result for profile provenance.
+    :param engine: step-engine name for run provenance
+        (``"interpreted"``/``"compiled"``); defaults to what
+        :func:`system_engine` detects on ``system``.  Engine selection
+        itself happens at system construction
+        (``AsyncSystem(..., engine=...)``) — this only records it.
     :returns: an :class:`~repro.check.stats.ExplorationResult`; never raises
         for budget exhaustion, deadlocks, or violations — callers decide how
         strict to be (:func:`repro.check.properties.assert_safe` raises).
     """
     core = ExplorationCore(name=name, store=store, observer=observer,
                            max_states=max_states, max_seconds=max_seconds,
-                           reductions=reductions)
+                           reductions=reductions,
+                           engine=(engine if engine is not None
+                                   else system_engine(system)))
     core.start()
     visited = core.store
     init = system.initial_state()
@@ -263,6 +292,14 @@ def explore(
         core.stop("invariant violated")
         stopped = True
 
+    # Hot-loop bindings: the add method, whether parent provenance is
+    # even retained (trace-free stores discard it — building a parent
+    # tuple per transition for them was pure allocation churn), and
+    # whether any invariant needs checking at all.
+    add = visited.add
+    track_parents = visited.supports_traces
+    has_invariants = bool(invariants)
+
     level: list[Hashable] = [init] if not stopped else []
     level_index = 0
     while level:
@@ -284,9 +321,9 @@ def explore(
             for action, nxt in succs:
                 core.n_transitions += 1
                 candidates += 1
-                if visited.add(nxt, (state, action)):
+                if add(nxt, (state, action) if track_parents else None):
                     new_states += 1
-                    if not check_invariants(nxt):
+                    if has_invariants and not check_invariants(nxt):
                         core.stop("invariant violated")
                         stopped = True
                         break

@@ -9,17 +9,18 @@ consumers the CLI and benchmarks use:
   size, cumulative states, states/sec, dedup ratio, approximate bytes),
   the model checker's analogue of a progress bar;
 * :class:`JsonProfileWriter` records the same events as a JSON document
-  (schema ``repro.profile/2``) for offline analysis and for the CI
+  (schema ``repro.profile/3``) for offline analysis and for the CI
   benchmark artifact.
 
-Profile JSON schema (``repro.profile/2``)::
+Profile JSON schema (``repro.profile/3``)::
 
     {
-      "schema": "repro.profile/2",
+      "schema": "repro.profile/3",
       "run": {"name": ..., "store": "exact"|"fingerprint",
               "workers": int, "max_states": int|null,
               "max_seconds": float|null,
-              "reductions": ["symmetry"?, "por"?]},
+              "reductions": ["symmetry"?, "por"?],
+              "engine": "interpreted"|"compiled"},
       "levels": [ {"level": int, "frontier": int, "expanded": int,
                    "candidates": int, "enabled": int,
                    "new_states": int,
@@ -40,8 +41,13 @@ Profile JSON schema (``repro.profile/2``)::
 provenance (``run.reductions``, ``result.reductions``), the
 enabled-before-reduction transition counts (``levels[].enabled``,
 ``result.n_enabled`` — equal to the taken counts when no reduction is
-active) and the derived ``levels[].reduction_ratio``.  Readers of ``/1``
-documents keep working on ``/2`` unchanged.
+active) and the derived ``levels[].reduction_ratio``.  ``/3`` adds only
+``run.engine`` — which step engine produced the successors
+(``"interpreted"``, the guard-AST interpreter, or ``"compiled"``, the
+protocol-specialized module from :mod:`repro.refine.compiled`).  Counts
+are engine-independent by construction; the field exists so throughput
+numbers are never compared across engines by accident.  Readers of
+older schemas keep working unchanged.
 
 ``levels`` includes the partial level in flight when a budget truncates
 the run, so profiles of "Unfinished" cells show exactly where the wall
@@ -71,7 +77,7 @@ __all__ = [
     "PROFILE_SCHEMA",
 ]
 
-PROFILE_SCHEMA = "repro.profile/2"
+PROFILE_SCHEMA = "repro.profile/3"
 
 
 @dataclass(frozen=True)
@@ -86,6 +92,9 @@ class RunInfo:
     #: active state-space reductions, inner wrapper first (e.g.
     #: ``("por", "symmetry")``); empty for full exploration
     reductions: tuple[str, ...] = ()
+    #: step engine that produced the successors ("interpreted" or
+    #: "compiled"); counts never depend on it, throughput does
+    engine: str = "interpreted"
 
 
 @dataclass(frozen=True)
@@ -211,7 +220,8 @@ class ProgressRenderer:
         if run.reductions:
             suffix += f" [reductions: {'+'.join(run.reductions)}]"
         print(f"exploring {run.name} (store={run.store}, "
-              f"workers={run.workers}){suffix}", file=self.stream)
+              f"workers={run.workers}, engine={run.engine}){suffix}",
+              file=self.stream)
 
     def on_level(self, event: LevelEvent) -> None:
         line = (f"  level {event.level:3d}: frontier {event.frontier:7d}  "

@@ -88,6 +88,65 @@ def canonical(state: Hashable) -> Any:
     return _canon(key() if callable(key) else state)
 
 
+#: Byte encodings of canonical subtrees, keyed by the subtree tuple
+#: itself.  Canonical keys share subtrees heavily (node keys recur across
+#: millions of states), so encoding is one C-level tuple hash plus a join
+#: of cached chunks instead of a Python-level walk of the whole tree.
+#: Value-keyed, so sharing across protocols and stores is harmless; the
+#: bound keeps 10^7-state runs from pinning unbounded encodings.
+_ENC_CACHE: dict[tuple, bytes] = {}
+_ENC_LIMIT = 1 << 20
+
+
+def _enc(obj: Any) -> bytes:
+    """Deterministic, injective byte encoding of a structural key.
+
+    Tuples become ``t(...)``, frozensets ``f(...)`` with elements sorted
+    by their encodings (equal sets encode equally regardless of
+    insertion/iteration order), leaves their ``repr`` — whose quoting
+    and escaping keep string contents from masquerading as structure.
+    Unlike ``hash()``, the result is stable across processes.
+    """
+    if type(obj) is tuple:
+        cached = _ENC_CACHE.get(obj)
+        if cached is None:
+            cached = b"t(" + b",".join(_enc(x) for x in obj) + b")"
+            if len(_ENC_CACHE) > _ENC_LIMIT:
+                _ENC_CACHE.clear()
+            _ENC_CACHE[obj] = cached
+        return cached
+    if isinstance(obj, frozenset):
+        return b"f(" + b",".join(sorted(_enc(x) for x in obj)) + b")"
+    return repr(obj).encode()
+
+
+def _encode(state: Hashable) -> bytes:
+    """Canonical byte encoding of ``state``, memoized on willing states.
+
+    Encoding a nested state is the expensive part of fingerprinting —
+    the blake2b digests over the resulting blob are cheap.  States with
+    an attribute dict cache the blob, so the two salted digests of one
+    ``add`` share a single encoding pass and re-submitted state
+    *objects* (the compiled engine interns successors) skip the encoding
+    entirely.  ``__getstate__`` on the semantics classes pickles fields
+    only, so the cache never crosses a process boundary; plain hashable
+    states (ints in toy systems) take the uncached path.
+    """
+    d = getattr(state, "__dict__", None)
+    if d is None:
+        key = getattr(state, "canonical_key", None)
+        return _enc(key() if callable(key) else state)
+    blob = d.get("_blob_cache")
+    if blob is None:
+        key = getattr(state, "canonical_key", None)
+        blob = _enc(key() if callable(key) else state)
+        try:
+            object.__setattr__(state, "_blob_cache", blob)
+        except (AttributeError, TypeError):
+            pass
+    return blob
+
+
 def fingerprint(state: Hashable, *, salt: bytes = b"") -> int:
     """A 64-bit fingerprint of ``state``'s canonical encoding.
 
@@ -96,8 +155,7 @@ def fingerprint(state: Hashable, *, salt: bytes = b"") -> int:
     process), uniform, and fast enough for the state rates this library
     reaches.  ``salt`` keys an independent second fingerprint.
     """
-    digest = blake2b(repr(canonical(state)).encode(),
-                     digest_size=8, key=salt).digest()
+    digest = blake2b(_encode(state), digest_size=8, key=salt).digest()
     return int.from_bytes(digest, "big")
 
 
@@ -144,10 +202,12 @@ class ExactStore:
         self._parents: dict[Hashable, ParentEntry] = {}
 
     def add(self, state: Hashable, parent: ParentEntry = None) -> bool:
-        if state in self._parents:
-            return False
-        self._parents[state] = parent
-        return True
+        # setdefault keeps the first (shortest-path) parent and hashes
+        # the state once, where a contains-then-insert pair hashes twice.
+        parents = self._parents
+        before = len(parents)
+        parents.setdefault(state, parent)
+        return len(parents) != before
 
     def __len__(self) -> int:
         return len(self._parents)
@@ -208,8 +268,12 @@ class FingerprintStore:
         self._table: dict[int, int] = {}
 
     def _fingerprints(self, state: Hashable) -> tuple[int, int]:
-        return (fingerprint(state) & self._mask,
-                fingerprint(state, salt=b"repro-check"))
+        # One encoding pass and one digest feed both hashes: the primary
+        # fingerprint is the first 8 bytes of a 16-byte blake2b, the
+        # check hash the last 8 — independent bits of one hash call.
+        digest = blake2b(_encode(state), digest_size=16).digest()
+        return (int.from_bytes(digest[:8], "big") & self._mask,
+                int.from_bytes(digest[8:], "big"))
 
     def add(self, state: Hashable, parent: ParentEntry = None) -> bool:
         primary, check = self._fingerprints(state)

@@ -52,6 +52,11 @@ class SymmetrySpec:
     set_vars: frozenset[str] = frozenset()
 
 
+#: Bound on the per-system representative memo (see
+#: :meth:`SymmetricSystem._normalize`); cleared, not evicted, past this.
+_MEMO_LIMIT = 1 << 20
+
+
 class SymmetricSystem:
     """Wrap a system so the explorer sees one representative per orbit.
 
@@ -59,19 +64,44 @@ class SymmetricSystem:
     and :class:`~repro.semantics.asynchronous.AsyncSystem`.  Remote-node
     environments must themselves be id-free (true for the whole library:
     remotes only hold data), which is asserted when possible.
+
+    Representatives are memoized per state: computing a signature per
+    remote (channel renderings, buffer slots, home id-references) on
+    every successor made the symmetry driver ~3x slower per state than
+    unreduced exploration, yet most successors are duplicates whose
+    representative was already computed.  The memo is value-keyed (state
+    hashes are themselves memoized on the semantics classes), returns
+    the *identical* representative object for equal queries, and is
+    bounded the same way the compiled engine's intern tables are, so a
+    10^7-state run cannot pin two copies of the space.
     """
 
     def __init__(self, inner: Any, spec: SymmetrySpec) -> None:
         self.inner = inner
         self.spec = spec
         self.n = inner.n_remotes
+        self._memo: dict[Union[RvState, AsyncState],
+                         Union[RvState, AsyncState]] = {}
+
+    def _normalize(self,
+                   state: Union[RvState, AsyncState],
+                   ) -> Union[RvState, AsyncState]:
+        memo = self._memo
+        rep = memo.get(state)
+        if rep is None:
+            rep = normalize(state, self.spec)
+            if len(memo) > _MEMO_LIMIT:
+                memo.clear()
+            memo[state] = rep
+        return rep
 
     def initial_state(self) -> Union[RvState, AsyncState]:
-        return normalize(self.inner.initial_state(), self.spec)
+        return self._normalize(self.inner.initial_state())
 
     def successors(self, state: Union[RvState, AsyncState],
                    ) -> list[tuple[Any, Union[RvState, AsyncState]]]:
-        return [(action, normalize(nxt, self.spec))
+        _normalize = self._normalize
+        return [(action, _normalize(nxt))
                 for action, nxt in self.inner.successors(state)]
 
     def expand(self, state: Union[RvState, AsyncState],
@@ -85,7 +115,8 @@ class SymmetricSystem:
         else:
             succs = self.inner.successors(state)
             enabled = len(succs)
-        return ([(action, normalize(nxt, self.spec))
+        _normalize = self._normalize
+        return ([(action, _normalize(nxt))
                  for action, nxt in succs], enabled)
 
 

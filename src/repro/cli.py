@@ -6,9 +6,11 @@ Commands:
   (``--symmetry`` explores one representative per remote-permutation orbit).
 * ``check``    — the raw reachability sweep with the performance knobs:
   ``--store fingerprint`` for SPIN-style hash compaction (~16 bytes/state,
-  collision-counted), ``--parallel``/``--workers`` for multi-process
-  frontier expansion, ``--levels`` for per-level progress lines, and
-  ``--profile out.json`` for a machine-readable run profile.
+  collision-counted), ``--engine compiled`` for the protocol-specialized
+  step engine (identical counts, several times faster on async spaces),
+  ``--parallel``/``--workers`` for multi-process frontier expansion,
+  ``--levels`` for per-level progress lines, and ``--profile out.json``
+  for a machine-readable run profile.
 * ``lint``     — run the static-analysis suite (section 2.4 restrictions,
   reachability, guard overlap, fusability, buffer demand, transients,
   the P44xx simulation certificate, the P45xx parameterized flow
@@ -35,6 +37,7 @@ Examples::
     repro verify migratory --level rendezvous -n 8 --progress
     repro verify invalidate -n 6 --symmetry
     repro check migratory --level async -n 3 --store fingerprint --levels
+    repro check invalidate --level async -n 3 --engine compiled --levels
     repro check migratory --level async -n 4 --parallel --profile out.json
     repro lint migratory --json
     repro lint all -n 8 --strict
@@ -75,7 +78,7 @@ from .protocols.migratory import migratory_protocol
 from .protocols.msi import msi_protocol
 from .refine.engine import refine
 from .refine.plan import RefinementConfig
-from .semantics.asynchronous import AsyncSystem
+from .semantics.asynchronous import ENGINE_NAMES, AsyncSystem
 from .semantics.rendezvous import RendezvousSystem
 from .sim.engine import Simulator
 from .sim.workload import HotLineWorkload, SyntheticWorkload
@@ -110,6 +113,7 @@ def _config(args) -> RefinementConfig:
 
 def cmd_verify(args) -> int:
     _reject_rendezvous_por(args)
+    _reject_rendezvous_engine(args)
     protocol = _build(args.protocol)
     invariants = list(coherence_invariants(COHERENCE_SPECS[args.protocol]))
     if args.level == "rendezvous":
@@ -117,7 +121,7 @@ def cmd_verify(args) -> int:
     else:
         refined = refine(protocol, _config(args))
         invariants += async_structural_invariants(args.buffer)
-        system = AsyncSystem(refined, args.nodes)
+        system = AsyncSystem(refined, args.nodes, engine=args.engine)
     base_system = system
     reductions = []
     if args.por:
@@ -152,11 +156,20 @@ def _reject_rendezvous_por(args) -> None:
             "rendezvous level has none (use --level async, or drop --por)")
 
 
+def _reject_rendezvous_engine(args) -> None:
+    if args.engine == "compiled" and args.level == "rendezvous":
+        raise SystemExit(
+            "--engine compiled specializes the asynchronous transition "
+            "table; the rendezvous level has only the interpreted engine "
+            "(use --level async, or drop --engine)")
+
+
 def cmd_check(args) -> int:
     from .check.observe import JsonProfileWriter, MultiObserver, ProgressRenderer
     from .check.parallel import SystemSpec, build_system, explore_parallel
 
     _reject_rendezvous_por(args)
+    _reject_rendezvous_engine(args)
 
     observers = []
     if args.levels:
@@ -173,7 +186,8 @@ def cmd_check(args) -> int:
     spec = SystemSpec(protocol=args.protocol, level=args.level,
                       n_remotes=args.nodes,
                       config=config if args.level == "async" else (),
-                      symmetry=args.symmetry, por=args.por)
+                      symmetry=args.symmetry, por=args.por,
+                      engine=args.engine)
     if args.parallel or args.workers is not None:
         result = explore_parallel(spec, workers=args.workers,
                                   max_states=args.budget,
@@ -297,6 +311,14 @@ def cmd_flows(args) -> int:
 
 def cmd_paramverify(args) -> int:
     import json
+
+    if args.engine == "compiled":
+        raise SystemExit(
+            "--engine compiled specializes the asynchronous transition "
+            "table; paramverify explores the environment abstraction at "
+            "the rendezvous level, where only the interpreted engine "
+            "exists (use 'repro check --level async --engine compiled' "
+            "for concrete sweeps)")
 
     from .analysis.coherencecheck import check_coherence
     from .analysis.flows import derive_flows
@@ -449,6 +471,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--level", choices=["rendezvous", "async"],
                    default="rendezvous")
+    p.add_argument("--engine", choices=list(ENGINE_NAMES),
+                   default="interpreted",
+                   help="step engine for the async level: interpreted "
+                        "(guard-AST interpreter, the differential ground "
+                        "truth) or compiled (protocol-specialized module; "
+                        "identical counts, several times faster)")
     p.add_argument("--progress", action="store_true",
                    help="also run the weak-fairness progress check")
     p.add_argument("--symmetry", action="store_true",
@@ -474,12 +502,19 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--level", choices=["rendezvous", "async"],
                    default="rendezvous")
+    p.add_argument("--engine", choices=list(ENGINE_NAMES),
+                   default="interpreted",
+                   help="step engine for the async level: interpreted "
+                        "(ground truth) or compiled (specialized module, "
+                        "identical counts, several times faster); spawn "
+                        "workers rebuild the compiled module from the "
+                        "spec")
     p.add_argument("--store", choices=list(STORE_NAMES), default="exact",
                    help="visited-state store: exact (traces, default) or "
                         "fingerprint (SPIN-style hash compaction)")
     p.add_argument("--profile", metavar="PATH", default=None,
                    help="write a per-level JSON run profile "
-                        "(schema repro.profile/2; records active "
+                        "(schema repro.profile/3; records active "
                         "reductions and per-level reduction ratios)")
     p.add_argument("--levels", action="store_true",
                    help="print one progress line per BFS level")
@@ -593,6 +628,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=50_000,
                    help="state budget per abstract exploration "
                         "(default 50000)")
+    p.add_argument("--engine", choices=list(ENGINE_NAMES),
+                   default="interpreted",
+                   help="accepted for CLI uniformity; the abstraction "
+                        "runs at the rendezvous level, so 'compiled' is "
+                        "rejected with a pointer to 'repro check'")
     p.add_argument("--json", action="store_true",
                    help="emit one JSON verdict per protocol")
     p.add_argument("--strict", action="store_true",

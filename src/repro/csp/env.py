@@ -72,18 +72,45 @@ class Env(Mapping[str, Value]):
         declare their full variable set up front, and a typo'd update should
         fail loudly rather than silently grow the state vector.
         """
-        if key not in self:
-            raise KeyError(f"variable {key!r} not declared in this Env")
-        return self.update({key: value})
+        # Hot path of every guard update: splice into the already-sorted
+        # item tuple instead of rebuilding through __init__'s sort.
+        items = self._items
+        for i, (name, old) in enumerate(items):
+            if name == key:
+                if old is value or old == value:
+                    return self
+                new_items = items[:i] + ((key, value),) + items[i + 1:]
+                env = Env.__new__(Env)
+                object.__setattr__(env, "_items", new_items)
+                # hash() raises TypeError for unhashable values, like the
+                # up-front check in __init__
+                object.__setattr__(env, "_hash", hash(new_items))
+                return env
+        raise KeyError(f"variable {key!r} not declared in this Env")
 
     def update(self, changes: Mapping[str, Value]) -> "Env":
         """Return a new environment applying all ``changes`` at once."""
-        unknown = [k for k in changes if k not in self]
-        if unknown:
-            raise KeyError(f"variables not declared in this Env: {unknown}")
-        merged = dict(self._items)
-        merged.update(changes)
-        return Env(merged)
+        pending = dict(changes)
+        changed = False
+        out = []
+        for name, old in self._items:
+            if name in pending:
+                new = pending.pop(name)
+                out.append((name, new))
+                if not (new is old or new == old):
+                    changed = True
+            else:
+                out.append((name, old))
+        if pending:
+            raise KeyError(
+                f"variables not declared in this Env: {list(pending)}")
+        if not changed:
+            return self
+        new_items = tuple(out)
+        env = Env.__new__(Env)
+        object.__setattr__(env, "_items", new_items)
+        object.__setattr__(env, "_hash", hash(new_items))
+        return env
 
     # -- identity ------------------------------------------------------------
 

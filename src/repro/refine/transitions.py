@@ -103,6 +103,22 @@ class StepTable:
                 raise RefinementError(
                     f"duplicate transition spec for {spec.key!r}")
             self._index[spec.key] = spec
+        # Derived lookups, precomputed once: the table is immutable
+        # (``mutate`` builds a fresh table through this constructor), so
+        # rebuilding these collections per property access was pure
+        # allocation churn for every consumer.
+        self.reply_of: dict[str, str] = {
+            s.msg: s.fused_reply for s in self.specs
+            if s.fused_reply is not None}
+        self.reply_msgs: frozenset[str] = frozenset(
+            s.msg for s in self.specs if s.kind == KIND_REPLY)
+        self.notes: frozenset[str] = frozenset(
+            s.msg for s in self.specs if s.kind == KIND_NOTE)
+        self._fused_requests: dict[str, frozenset[str]] = {
+            role: frozenset(s.msg for s in self.specs
+                            if s.role == role and s.kind == KIND_REQUEST
+                            and s.fused_reply is not None)
+            for role in (HOME, REMOTE)}
 
     def __iter__(self) -> Iterator[TransitionSpec]:
         return iter(self.specs)
@@ -126,24 +142,7 @@ class StepTable:
 
     def fused_requests(self, role: str) -> frozenset[str]:
         """Request message types of ``role`` that a reply acknowledges."""
-        return frozenset(s.msg for s in self.specs
-                         if s.role == role and s.kind == KIND_REQUEST
-                         and s.fused_reply is not None)
-
-    @property
-    def reply_of(self) -> dict[str, str]:
-        """Fused request message type -> its reply message type."""
-        return {s.msg: s.fused_reply for s in self.specs
-                if s.fused_reply is not None}
-
-    @property
-    def reply_msgs(self) -> frozenset[str]:
-        return frozenset(s.msg for s in self.specs if s.kind == KIND_REPLY)
-
-    @property
-    def notes(self) -> frozenset[str]:
-        """Fire-and-forget message types (sent without a handshake)."""
-        return frozenset(s.msg for s in self.specs if s.kind == KIND_NOTE)
+        return self._fused_requests.get(role, frozenset())
 
     # -- mutation hook (differential testing) --------------------------------
 

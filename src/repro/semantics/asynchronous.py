@@ -48,7 +48,10 @@ core through :meth:`AsyncSystem.steps`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..refine.compiled import CompiledEngine
 
 from ..csp.ast import Input, Output, ProcessDef, Protocol, StateDef
 from ..csp.env import Env, Value
@@ -84,6 +87,7 @@ __all__ = [
     "AsyncAction",
     "Step",
     "StepFootprint",
+    "ENGINE_NAMES",
     "AsyncSystem",
 ]
 
@@ -139,6 +143,18 @@ class HomeNode:
     _FIELDS = ("state", "env", "mode", "out_idx", "awaiting",
                "pending_out", "buffer")
 
+    def __hash__(self) -> int:
+        # Same formula as the dataclass-generated hash (the field tuple),
+        # memoized like AsyncState.__hash__: home nodes are shared across
+        # many successor states, so the visited store re-hashes each one
+        # many times.  __getstate__ keeps the cache out of pickles.
+        cached = self.__dict__.get("_hash_cache")
+        if cached is None:
+            cached = hash((self.state, self.env, self.mode, self.out_idx,
+                           self.awaiting, self.pending_out, self.buffer))
+            object.__setattr__(self, "_hash_cache", cached)
+        return int(cached)
+
     def canonical_key(self) -> tuple:
         # Memoized like AsyncState.__hash__: store probes recompute the
         # key on every lookup, and the cache lives outside _FIELDS so the
@@ -176,6 +192,15 @@ class RemoteNode:
     buf: Optional[BufEntry] = None
 
     _FIELDS = ("state", "env", "mode", "pending_out", "buf")
+
+    def __hash__(self) -> int:
+        # Memoized field-tuple hash; see HomeNode.__hash__.
+        cached = self.__dict__.get("_hash_cache")
+        if cached is None:
+            cached = hash((self.state, self.env, self.mode,
+                           self.pending_out, self.buf))
+            object.__setattr__(self, "_hash_cache", cached)
+        return int(cached)
 
     def canonical_key(self) -> tuple:
         cached = self.__dict__.get("_key_cache")
@@ -436,17 +461,31 @@ class Step:
 # ---------------------------------------------------------------------------
 
 
+#: Step-engine choices for :class:`AsyncSystem`.  ``interpreted`` walks
+#: the guard AST per expansion and is the differential ground truth;
+#: ``compiled`` runs the protocol-specialized module generated by
+#: :mod:`repro.refine.compiled` (byte-identical steps and successors,
+#: typically several times faster).
+ENGINE_NAMES = ("interpreted", "compiled")
+
+
 class AsyncSystem:
     """Executable asynchronous semantics for a refined protocol."""
 
     def __init__(self, refined: RefinedProtocol, n_remotes: int, *,
-                 table: Optional[StepTable] = None) -> None:
+                 table: Optional[StepTable] = None,
+                 engine: str = "interpreted") -> None:
         if n_remotes < 1:
             raise SemanticsError("need at least one remote node")
+        if engine not in ENGINE_NAMES:
+            raise SemanticsError(
+                f"unknown engine {engine!r}; choose from "
+                f"{', '.join(ENGINE_NAMES)}")
         self.refined = refined
         self.protocol: Protocol = refined.protocol
         self.plan = refined.plan
         self.n_remotes = n_remotes
+        self.engine = engine
         self.capacity = self.plan.config.home_buffer_capacity
         # The Tables 1/2 control data (rewind/fast-forward/reply targets,
         # request kinds) comes from the step table, the same record the
@@ -459,6 +498,13 @@ class AsyncSystem:
         self._notes = self.table.notes
         self._remote_fused = self.table.fused_requests(REMOTE_ROLE)
         self._home_fused = self.table.fused_requests(HOME_ROLE)
+        self._compiled: Optional[CompiledEngine] = None
+        if engine == "compiled":
+            # Lazy import: the compiler depends on this module.  The
+            # engine is built from the *same* (possibly mutated) table,
+            # so fault injection behaves identically in both engines.
+            from ..refine.compiled import compile_system
+            self._compiled = compile_system(refined, self.table, n_remotes)
 
     # -- construction --------------------------------------------------------
 
@@ -474,6 +520,8 @@ class AsyncSystem:
 
     def steps(self, state: AsyncState) -> list[Step]:
         """All enabled transitions, with completion/send observables."""
+        if self._compiled is not None:
+            return self._compiled.steps(state)
         out: list[Step] = []
         for i in range(self.n_remotes):
             if state.channels.head_to_home(i) is not None:
@@ -496,6 +544,11 @@ class AsyncSystem:
         return out
 
     def successors(self, state: AsyncState) -> list[tuple[AsyncAction, AsyncState]]:
+        # The compiled engine's lean path skips Step construction (and
+        # the completes/sends observables) entirely; order and states
+        # are byte-identical to the interpreted enumeration.
+        if self._compiled is not None:
+            return self._compiled.successors(state)
         return [(s.action, s.state) for s in self.steps(state)]
 
     def apply(self, state: AsyncState, action: AsyncAction) -> AsyncState:
@@ -541,13 +594,20 @@ class AsyncSystem:
                 out_idx=self._next_out_idx(self.protocol.home, home))
             return Step(action=action, state=base.with_home(new_home))
 
+        # Payload expressions are effect-free functions of the sender's
+        # environment, which is frozen while the sender is transient — so
+        # the value observed at completion equals the one sent with the
+        # request.  Evaluate once here and reuse below instead of
+        # re-evaluating per branch.
+        request_payload = out_guard.eval_payload(home.env)
+
         if msg.kind == ACK:  # row T1
             env = out_guard.apply_update(home.env)
             new_home = HomeNode(state=spec.forward_to, env=env, mode=IDLE,
                                 out_idx=0, buffer=home.buffer)
             completes = (RendezvousStep(active=HOME_ID, passive=i,
                                         msg=out_guard.msg,
-                                        payload=out_guard.eval_payload(home.env)),)
+                                        payload=request_payload),)
             return Step(action=action, state=base.with_home(new_home),
                         completes=completes)
 
@@ -558,7 +618,6 @@ class AsyncSystem:
                     f"home got unexpected reply {msg.describe()} while "
                     f"awaiting the reply to {out_guard.msg!r}")
             assert spec.reply_to is not None
-            request_payload = out_guard.eval_payload(home.env)
             env = out_guard.apply_update(home.env)
             mid_state = self.protocol.home.state(spec.reply_to)
             in_guard = self._find_input(mid_state, reply_msg, env, i,
@@ -783,11 +842,13 @@ class AsyncSystem:
                 f"remote r{i} received {msg.describe()} while not transient")
         out_guard = self._remote_pending_output(node)
         spec = self._remote_pending_spec(node)
+        # Evaluated once per delivery (see the home-side twin above): the
+        # remote's env is frozen while transient, so the retransmitted
+        # request and the completion observable must carry the same value.
+        request_payload = out_guard.eval_payload(node.env)
 
         if msg.kind == NACK:  # row T2: retransmit immediately
-            req_kind = REQ
-            retry = Msg(kind=req_kind, msg=out_guard.msg,
-                        payload=out_guard.eval_payload(node.env))
+            retry = Msg(kind=REQ, msg=out_guard.msg, payload=request_payload)
             channels2 = base.channels.send_to_home(i, retry)
             return Step(action=action, state=base.with_channels(channels2),
                         sends=(retry,))
@@ -797,7 +858,7 @@ class AsyncSystem:
             new_node = RemoteNode(state=spec.forward_to, env=env, mode=IDLE)
             completes = (RendezvousStep(active=i, passive=HOME_ID,
                                         msg=out_guard.msg,
-                                        payload=out_guard.eval_payload(node.env)),)
+                                        payload=request_payload),)
             return Step(action=action, state=base.with_remote(i, new_node),
                         completes=completes)
 
@@ -808,7 +869,6 @@ class AsyncSystem:
                     f"remote r{i} got unexpected reply {msg.describe()} "
                     f"while awaiting the reply to {out_guard.msg!r}")
             assert spec.reply_to is not None
-            request_payload = out_guard.eval_payload(node.env)
             env = out_guard.apply_update(node.env)
             mid_state = self.protocol.remote.state(spec.reply_to)
             in_guard = self._find_input(mid_state, reply_msg, env, -1,

@@ -47,6 +47,19 @@ class Msg:
     msg: Optional[str] = None
     payload: Value = None
 
+    def __hash__(self) -> int:
+        # Same formula as the dataclass-generated hash (the field tuple),
+        # memoized: every visited-store probe re-hashes the channel
+        # contents, and message objects are widely shared across states
+        # (the compiled engine interns them outright).  __getstate__
+        # pickles only the fields, so the cache never crosses a process
+        # boundary.
+        cached = self.__dict__.get("_hash_cache")
+        if cached is None:
+            cached = hash((self.kind, self.msg, self.payload))
+            object.__setattr__(self, "_hash_cache", cached)
+        return int(cached)
+
     def canonical_key(self) -> tuple:
         return (self.kind, self.msg, self.payload)
 
@@ -58,12 +71,21 @@ class Msg:
             object.__setattr__(self, name, value)
 
     def describe(self) -> str:
-        if self.kind in (ACK, NACK):
-            return self.kind.lower()
-        body = self.msg or "?"
-        if self.payload is not None:
-            body += f"({self.payload!r})"
-        return f"{self.kind.lower()}:{body}"
+        # Memoized: the symmetry driver renders every in-flight message
+        # once per remote signature, and message objects are shared
+        # across states (interned outright by the compiled engine).
+        # __getstate__ pickles fields only, so the cache stays local.
+        cached = self.__dict__.get("_desc_cache")
+        if cached is None:
+            if self.kind in (ACK, NACK):
+                cached = self.kind.lower()
+            else:
+                body = self.msg or "?"
+                if self.payload is not None:
+                    body += f"({self.payload!r})"
+                cached = f"{self.kind.lower()}:{body}"
+            object.__setattr__(self, "_desc_cache", cached)
+        return str(cached)
 
 
 @dataclass(frozen=True)
@@ -75,6 +97,17 @@ class Channels:
     """
 
     queues: tuple[tuple[Msg, ...], ...]
+
+    def __hash__(self) -> int:
+        # Same formula as the dataclass-generated hash (the field tuple),
+        # memoized: channel objects are shared across successor states and
+        # re-hashed by every visited-store probe.  __getstate__ pickles
+        # only ``queues``, so the cache never crosses a process boundary.
+        cached = self.__dict__.get("_hash_cache")
+        if cached is None:
+            cached = hash((self.queues,))
+            object.__setattr__(self, "_hash_cache", cached)
+        return int(cached)
 
     def canonical_key(self) -> tuple:
         # Memoized (the fingerprint store rebuilds state keys on every

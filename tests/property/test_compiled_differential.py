@@ -1,0 +1,177 @@
+"""Compiled-engine differential: the interpreter is the ground truth.
+
+:mod:`repro.refine.compiled` generates a protocol-specialized successor
+module from the same :class:`~repro.refine.transitions.StepTable` the
+interpreter consults.  Its only correctness argument is agreement with
+the interpreted semantics, so this suite cross-checks the two engines
+on *randomly generated* protocols (the strongest evidence available —
+the library protocols alone would only exercise the table rows they
+happen to contain):
+
+* state/transition/deadlock counts, including budget-truncated runs
+  (identical counts under truncation require identical successor
+  *order*, not just identical sets);
+* invariant and progress verdicts;
+* step-level observables (``completes``/``sends``), which carry the
+  payload values — this is also the regression assertion for the
+  hot-path bug where ``eval_payload`` ran more than once per guard: the
+  value sent with a request and the value observed at its completion
+  must be the same;
+* a seeded :meth:`StepTable.mutate` fault injection: a corrupted table
+  row must be flagged by the compiled engine exactly as the interpreter
+  flags it (same exception, same message), never silently absorbed.
+"""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro import AsyncSystem, refine
+from repro.check.explorer import explore
+from repro.check.properties import check_progress
+from repro.errors import SemanticsError
+from repro.gen import GeneratorParams, random_protocol
+from repro.protocols.invariants import async_structural_invariants
+from repro.protocols.migratory import migratory_protocol
+from repro.refine.transitions import build_step_table
+
+SMALL = GeneratorParams(n_remote_states=3, n_home_states=3,
+                        n_remote_msgs=2, n_home_msgs=2)
+
+lenient = settings(max_examples=20, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow,
+                                          HealthCheck.data_too_large,
+                                          HealthCheck.filter_too_much])
+
+
+@st.composite
+def protocols(draw):
+    seed = draw(st.integers(0, 10_000))
+    return random_protocol(seed, SMALL)
+
+
+def engine_pair(protocol, n=2):
+    refined = refine(protocol)
+    return (AsyncSystem(refined, n),
+            AsyncSystem(refined, n, engine="compiled"))
+
+
+def counts(result):
+    return (result.n_states, result.n_transitions, result.deadlock_count,
+            result.completed, result.stop_reason)
+
+
+class TestRandomProtocolDifferential:
+    @lenient
+    @given(protocols())
+    def test_counts_and_deadlocks_agree(self, protocol):
+        interp, comp = engine_pair(protocol)
+        # State budgets only: a wall-clock budget would truncate the two
+        # runs at different frontiers and void the comparison.
+        a = explore(interp, max_states=2500, allow_deadlock=True)
+        b = explore(comp, max_states=2500, allow_deadlock=True)
+        assert counts(a) == counts(b)
+
+    @lenient
+    @given(protocols(), st.integers(0, 500))
+    def test_truncated_budgets_agree(self, protocol, budget):
+        interp, comp = engine_pair(protocol)
+        a = explore(interp, max_states=budget, allow_deadlock=True)
+        b = explore(comp, max_states=budget, allow_deadlock=True)
+        assert counts(a) == counts(b)
+
+    @lenient
+    @given(protocols())
+    def test_invariant_verdicts_agree(self, protocol):
+        interp, comp = engine_pair(protocol)
+        invs = async_structural_invariants(2)
+        a = explore(interp, max_states=2500, invariants=invs,
+                    allow_deadlock=True)
+        b = explore(comp, max_states=2500, invariants=invs,
+                    allow_deadlock=True)
+        assert counts(a) == counts(b)
+        assert [v.property_name for v in a.violations] \
+            == [v.property_name for v in b.violations]
+
+    @lenient
+    @given(protocols())
+    def test_progress_verdicts_agree(self, protocol):
+        interp, comp = engine_pair(protocol)
+        a = check_progress(interp, max_states=2500)
+        b = check_progress(comp, max_states=2500)
+        assume(a.completed and b.completed)
+        assert (a.ok, a.n_states, a.n_sccs, a.n_terminal_sccs,
+                len(a.deadlocks), len(a.livelocks)) \
+            == (b.ok, b.n_states, b.n_sccs, b.n_terminal_sccs,
+                len(b.deadlocks), len(b.livelocks))
+
+
+class TestStepObservableParity:
+    """Byte-level agreement of the full ``steps()`` enumeration.
+
+    Beyond (action, state) pairs this compares the ``completes`` and
+    ``sends`` observables, whose payload fields are the values the
+    engines evaluated from the guard payload expressions — the
+    "both sites agree" assertion for the eval-once bugfix.
+    """
+
+    @lenient
+    @given(protocols())
+    def test_steps_identical_on_reachable_states(self, protocol):
+        interp, comp = engine_pair(protocol)
+        result = explore(interp, max_states=400, keep_graph=True,
+                         allow_deadlock=True)
+        for state in list(result.graph or {})[:200]:
+            a = interp.steps(state)
+            b = comp.steps(state)
+            assert len(a) == len(b)
+            for sa, sb in zip(a, b):
+                assert sa.action == sb.action
+                assert sa.state == sb.state
+                assert sa.completes == sb.completes
+                assert sa.sends == sb.sends
+
+
+class TestSeededMutant:
+    """Fault injection through :meth:`StepTable.mutate`.
+
+    Each corrupted row drives the semantics into an inconsistency that
+    the interpreter reports as a :class:`SemanticsError`; the compiled
+    engine bakes the same (mutated) table into its generated module and
+    must raise the identical error — a mutant silently absorbed by the
+    compiled engine would mean its specialization dropped a check.
+    """
+
+    MUTATIONS = [
+        ("reply_to_wrong",
+         dict(role="remote", state="I", out_index=0),
+         dict(reply_to="I")),
+        ("fused_reply_dropped",
+         dict(role="remote", state="I", out_index=0),
+         dict(fused_reply=None, reply_to=None)),
+        ("home_reply_to_wrong",
+         dict(role="home", state="I1", out_index=0),
+         dict(reply_to="I1")),
+    ]
+
+    @pytest.mark.parametrize("name,where,changes", MUTATIONS,
+                             ids=[m[0] for m in MUTATIONS])
+    def test_mutant_flagged_identically(self, name, where, changes):
+        refined = refine(migratory_protocol())
+        mutant = build_step_table(refined).mutate(**where, **changes)
+        errors = {}
+        for engine in ("interpreted", "compiled"):
+            system = AsyncSystem(refined, 2, table=mutant, engine=engine)
+            with pytest.raises(SemanticsError) as exc:
+                explore(system, max_states=4000, allow_deadlock=True)
+            errors[engine] = str(exc.value)
+        assert errors["interpreted"] == errors["compiled"]
+
+    def test_healthy_table_not_flagged(self):
+        refined = refine(migratory_protocol())
+        table = build_step_table(refined)
+        for engine in ("interpreted", "compiled"):
+            result = explore(AsyncSystem(refined, 2, table=table,
+                                         engine=engine),
+                             max_states=4000, allow_deadlock=True)
+            assert result.completed

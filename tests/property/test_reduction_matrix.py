@@ -1,18 +1,22 @@
-"""Driver/store/reduction parity matrix.
+"""Driver/store/reduction/engine parity matrix.
 
 :mod:`tests.property.test_explorer_parity` pins byte-identical counts
 between the sequential and parallel drivers on unreduced systems.  The
-reductions must not break that contract: for every cell of
+reductions and the compiled step engine must not break that contract:
+for every cell of
 
-    {sequential, parallel} x {exact, fingerprint}
-        x {symmetry off, on} x {por off, on}
+    {interpreted, compiled} x {sequential, parallel}
+        x {exact, fingerprint} x {symmetry off, on} x {por off, on}
 
-the four driver/store variants of the *same* reduction combination must
-report identical ``n_states``/``n_transitions``/``deadlock_count``/
-``stop_reason`` — including runs truncated mid-level by a state budget,
-where a single out-of-order expansion would shift the counts.  Across
-combinations, reduction only ever shrinks the state count.
+the eight engine/driver/store variants of the *same* reduction
+combination must report identical ``n_states``/``n_transitions``/
+``deadlock_count``/``stop_reason`` — including runs truncated mid-level
+by a state budget, where a single out-of-order expansion (or a single
+reordered successor from the compiled engine) would shift the counts.
+Across combinations, reduction only ever shrinks the state count.
 """
+
+from dataclasses import replace
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -23,6 +27,7 @@ from repro.check.parallel import SystemSpec, build_system, explore_parallel
 
 PROTOCOLS = [("migratory", 2), ("invalidate", 2)]
 REDUCTIONS = [(False, False), (False, True), (True, False), (True, True)]
+ENGINES = ("interpreted", "compiled")
 
 
 def spec_for(protocol, n, symmetry, por):
@@ -35,20 +40,22 @@ def counts(result):
 
 
 def variants(spec, **budgets):
-    """The four driver/store runs of one reduction combination."""
-    return {
-        "seq-exact": explore(build_system(spec), name="matrix",
-                             reductions=spec.reductions(), **budgets),
-        "seq-fingerprint": explore(build_system(spec), name="matrix",
-                                   store="fingerprint",
-                                   reductions=spec.reductions(), **budgets),
-        "par-exact": explore_parallel(spec, workers=2, fanout_threshold=4,
-                                      chunk_size=16, **budgets),
-        "par-fingerprint": explore_parallel(spec, workers=2,
-                                            fanout_threshold=4,
-                                            chunk_size=16,
-                                            store="fingerprint", **budgets),
-    }
+    """The eight engine/driver/store runs of one reduction combination."""
+    runs = {}
+    for engine in ENGINES:
+        espec = replace(spec, engine=engine)
+        runs[f"{engine}-seq-exact"] = explore(
+            build_system(espec), name="matrix",
+            reductions=espec.reductions(), **budgets)
+        runs[f"{engine}-seq-fingerprint"] = explore(
+            build_system(espec), name="matrix", store="fingerprint",
+            reductions=espec.reductions(), **budgets)
+        runs[f"{engine}-par-exact"] = explore_parallel(
+            espec, workers=2, fanout_threshold=4, chunk_size=16, **budgets)
+        runs[f"{engine}-par-fingerprint"] = explore_parallel(
+            espec, workers=2, fanout_threshold=4, chunk_size=16,
+            store="fingerprint", **budgets)
+    return runs
 
 
 @pytest.mark.parametrize("protocol,n", PROTOCOLS,
@@ -59,14 +66,15 @@ class TestFullRuns:
         for symmetry, por in REDUCTIONS:
             spec = spec_for(protocol, n, symmetry, por)
             runs = variants(spec)
-            reference = counts(runs["seq-exact"])
+            reference = counts(runs["interpreted-seq-exact"])
             for name, result in runs.items():
                 assert counts(result) == reference, \
                     f"{name} diverges on {spec} ({symmetry=}, {por=})"
                 assert result.completed
             if baseline_states is None:
-                baseline_states = runs["seq-exact"].n_states  # (off, off)
-            assert runs["seq-exact"].n_states <= baseline_states
+                # (off, off) cell of the interpreted oracle
+                baseline_states = runs["interpreted-seq-exact"].n_states
+            assert runs["interpreted-seq-exact"].n_states <= baseline_states
 
     def test_reductions_recorded(self, protocol, n):
         spec = spec_for(protocol, n, symmetry=True, por=True)
@@ -91,12 +99,12 @@ class TestTruncatedRuns:
     def test_fixed_budgets(self, symmetry, por, budget):
         spec = spec_for("migratory", 2, symmetry, por)
         runs = variants(spec, max_states=budget)
-        reference = counts(runs["seq-exact"])
+        reference = counts(runs["interpreted-seq-exact"])
         for name, result in runs.items():
             assert counts(result) == reference, f"{name} diverges"
         if reference[0] >= budget:
-            assert not runs["seq-exact"].completed
-            assert runs["seq-exact"].stop_reason \
+            assert not runs["interpreted-seq-exact"].completed
+            assert runs["interpreted-seq-exact"].stop_reason \
                 == f"state budget {budget} exceeded"
 
     @settings(max_examples=12, deadline=None,
@@ -109,6 +117,6 @@ class TestTruncatedRuns:
         protocol, n = PROTOCOLS[proto]
         spec = spec_for(protocol, n, symmetry, por)
         runs = variants(spec, max_states=budget)
-        reference = counts(runs["seq-exact"])
+        reference = counts(runs["interpreted-seq-exact"])
         for name, result in runs.items():
             assert counts(result) == reference, f"{name} diverges"

@@ -137,7 +137,7 @@ class TestCheckCommand:
                      "--profile", str(path)]) == 0
         assert f"profile written to {path}" in capsys.readouterr().out
         doc = json.loads(path.read_text())
-        assert doc["schema"] == "repro.profile/2"
+        assert doc["schema"] == "repro.profile/3"
         assert doc["result"]["completed"] is True
         assert sum(lvl["new_states"] for lvl in doc["levels"]) + 1 \
             == doc["result"]["n_states"]
@@ -201,6 +201,47 @@ class TestPorFlag:
         full_states = int(full_out.split(" states")[0].rsplit()[-1])
         por_states = int(por_out.split(" states")[0].rsplit()[-1])
         assert por_states < full_states
+
+
+class TestEngineFlag:
+    def test_check_compiled_matches_interpreted(self, capsys):
+        counts = {}
+        for engine in ("interpreted", "compiled"):
+            assert main(["check", "migratory", "--level", "async",
+                         "-n", "2", "--engine", engine]) == 0
+            out = capsys.readouterr().out
+            counts[engine] = out.split(" states")[0].rsplit()[-1]
+        assert counts["interpreted"] == counts["compiled"]
+
+    def test_verify_compiled_runs(self, capsys):
+        assert main(["verify", "migratory", "--level", "async",
+                     "-n", "2", "--engine", "compiled"]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_profile_records_engine(self, tmp_path):
+        path = tmp_path / "profile.json"
+        assert main(["check", "migratory", "--level", "async", "-n", "2",
+                     "--engine", "compiled", "--profile", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["run"]["engine"] == "compiled"
+
+    @pytest.mark.parametrize("command", ["check", "verify"])
+    def test_compiled_rejects_rendezvous_level(self, command):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "migratory", "-n", "2",
+                  "--engine", "compiled"])
+        assert "rendezvous level has only the interpreted engine" \
+            in str(excinfo.value)
+
+    def test_paramverify_rejects_compiled(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["paramverify", "migratory", "--engine", "compiled"])
+        assert "compiled" in str(excinfo.value)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "migratory",
+                                       "--engine", "jit"])
 
 
 class TestTable3Command:

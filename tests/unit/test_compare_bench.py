@@ -95,6 +95,66 @@ class TestCompare:
         assert any("reductions." in e for e in errors)
 
 
+def make_doc_v2():
+    """A /2 document: per-engine rows, identical counts, distinct timing."""
+    interp = {
+        "protocol": "migratory", "n": 3, "config": "por",
+        "engine": "interpreted",
+        "n_states": 794, "n_transitions": 1806, "n_enabled": 2058,
+        "depth": 34, "completed": True, "transition_pruning": 0.1224,
+        "states_per_sec": 2000, "approx_bytes": 100_000, "seconds": 0.4,
+    }
+    compiled = dict(interp, engine="compiled",
+                    states_per_sec=8000, seconds=0.1)
+    return {
+        "schema": "repro.bench_explore/2",
+        "budget": 4000,
+        "runs": [interp, compiled],
+        "headline": {
+            "runs": [dict(interp), dict(compiled)],
+            "reductions": {"migratory_n3_por_vs_full": 0.508},
+        },
+    }
+
+
+class TestCrossEngine:
+    """The /2 contract: engine rows are separate cells, but their
+    deterministic fields must agree exactly within one document."""
+
+    def test_identical_passes(self):
+        doc = make_doc_v2()
+        errors, notes = compare_bench.compare(doc, copy.deepcopy(doc))
+        assert errors == [] and notes == []
+
+    def test_engine_rows_are_distinct_cells(self):
+        base, cand = make_doc_v2(), make_doc_v2()
+        cand["runs"] = [r for r in cand["runs"]
+                        if r["engine"] == "interpreted"]
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("row sets differ" in e for e in errors)
+
+    def test_cross_engine_count_mismatch_fails_exactly(self):
+        # +1 state is far inside the 25% drift tolerance, but across
+        # engines the counts must be *exactly* equal
+        base, cand = make_doc_v2(), make_doc_v2()
+        cand["runs"][1]["n_states"] += 1
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("differs across engines" in e for e in errors)
+
+    def test_cross_engine_timing_may_differ(self):
+        base, cand = make_doc_v2(), make_doc_v2()
+        cand["runs"][1]["states_per_sec"] = 99_999
+        cand["runs"][1]["seconds"] = 0.01
+        errors, _ = compare_bench.compare(base, cand)
+        assert errors == []
+
+    def test_v1_rows_default_to_interpreted_engine(self):
+        # a /1 baseline (no engine field) still compares row-for-row
+        doc = make_doc()
+        errors, _ = compare_bench.compare(doc, copy.deepcopy(doc))
+        assert errors == []
+
+
 class TestMain:
     def test_cli_pass_and_fail(self, tmp_path, capsys):
         base, cand = make_doc(), make_doc()
