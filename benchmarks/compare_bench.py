@@ -15,7 +15,14 @@ The comparison dispatches on the document's ``schema`` field:
   cross-check at n = 2..4 and the stabilization cutoff;
 * ``repro.bench_param/1`` (``BENCH_param.json``) — the parameterized
   coherence (P46xx) verdict per protocol plus the single-writer/SWMR
-  exploration cross-check at n = 2..4.
+  exploration cross-check at n = 2..4;
+* ``repro.profile/*`` (``--profile`` output of ``repro check``) — two
+  profiles of the *same model*, typically produced by different drivers
+  (sequential vs owner-computes partitioned).  Every deterministic
+  count — final result fields and every per-level count — must agree
+  **exactly** (no tolerance): the partitioned driver's whole contract
+  is byte-identical counts.  Timing, byte sizes, worker/partition
+  layout and the per-partition statistics rows are informational.
 
 Exit status 1 when any *deterministic* field drifts more than the
 tolerance (default 25%): state/transition/enabled counts, BFS depth,
@@ -222,11 +229,68 @@ def _compare_param(baseline: dict, candidate: dict, tolerance: float,
                              f"{c.get('seconds')} (informational)")
 
 
+#: result fields of a profile document that must agree exactly across
+#: drivers of the same model (the byte-identical-counts contract)
+PROFILE_RESULT_EXACT = ("n_states", "n_transitions", "n_enabled",
+                        "deadlocks", "completed", "stop_reason",
+                        "reductions", "store", "fingerprint_collisions")
+#: per-level fields held to exact equality; seconds/bytes are not
+PROFILE_LEVEL_EXACT = ("level", "frontier", "expanded", "candidates",
+                       "new_states", "n_states", "n_transitions",
+                       "deadlocks", "collisions", "enabled")
+PROFILE_LEVEL_INFO = ("seconds", "approx_bytes", "spill_bytes")
+
+
+def _compare_profiles(baseline: dict, candidate: dict,
+                      errors: list, notes: list) -> None:
+    old_res, new_res = baseline["result"], candidate["result"]
+    for field in PROFILE_RESULT_EXACT:
+        if old_res.get(field) != new_res.get(field):
+            errors.append(f"result.{field}: {old_res.get(field)} -> "
+                          f"{new_res.get(field)} (must match exactly)")
+    old_levels, new_levels = baseline["levels"], candidate["levels"]
+    if len(old_levels) != len(new_levels):
+        errors.append(f"levels: {len(old_levels)} -> {len(new_levels)} "
+                      "(BFS depth must match exactly)")
+        return
+    drifted = {field: 0 for field in PROFILE_LEVEL_INFO}
+    for old, new in zip(old_levels, new_levels):
+        for field in PROFILE_LEVEL_EXACT:
+            if old.get(field) != new.get(field):
+                errors.append(f"level {old.get('level')}: {field} "
+                              f"{old.get(field)} -> {new.get(field)} "
+                              "(must match exactly)")
+        for field in PROFILE_LEVEL_INFO:
+            if _rel_drift(old.get(field, 0) or 0,
+                          new.get(field, 0) or 0) > 0.25:
+                drifted[field] += 1
+    for field, count in drifted.items():
+        if count:
+            notes.append(f"levels: {field} drifted on {count}/"
+                         f"{len(old_levels)} level(s) (informational)")
+    old_run, new_run = baseline.get("run") or {}, candidate.get("run") or {}
+    for field in ("workers", "partitions", "store", "engine"):
+        if old_run.get(field) != new_run.get(field):
+            notes.append(f"run.{field}: {old_run.get(field)} -> "
+                         f"{new_run.get(field)} (layout, informational)")
+
+
 def compare(baseline: dict, candidate: dict,
             tolerance: float = 0.25) -> tuple[list[str], list[str]]:
     """Return (errors, notes); empty errors means the diff passes."""
     errors: list[str] = []
     notes: list[str] = []
+    schema = str(baseline.get("schema") or "")
+    if schema.startswith("repro.profile/"):
+        # two profiles of the same model (e.g. sequential vs
+        # partitioned driver): schema versions may differ, counts not
+        if not str(candidate.get("schema") or "").startswith(
+                "repro.profile/"):
+            errors.append(f"schema {baseline.get('schema')} -> "
+                          f"{candidate.get('schema')}")
+            return errors, notes
+        _compare_profiles(baseline, candidate, errors, notes)
+        return errors, notes
     if candidate.get("schema") != baseline.get("schema"):
         errors.append(f"schema {baseline.get('schema')} -> "
                       f"{candidate.get('schema')}")

@@ -36,11 +36,16 @@ import time
 from typing import Any, Callable, Hashable, Optional, Protocol, Sequence
 
 from .observe import LevelEvent, NullObserver, RunInfo, RunObserver
-from .stats import Counterexample, ExplorationResult
+from .stats import Counterexample, ExplorationResult, _fmt_bytes
 from .store import StateStore, StoreSpec, make_store
 
 __all__ = ["System", "Invariant", "ExplorationCore", "expand_state",
-           "explore", "system_engine"]
+           "explore", "system_engine", "replay_actions"]
+
+
+def _store_spill_bytes(store: StateStore) -> int:
+    spill = getattr(store, "spill_bytes", None)
+    return int(spill()) if callable(spill) else 0
 
 
 class System(Protocol):
@@ -110,6 +115,7 @@ class ExplorationCore:
                  observer: Optional[RunObserver] = None,
                  max_states: Optional[int] = None,
                  max_seconds: Optional[float] = None,
+                 max_bytes: Optional[int] = None,
                  workers: int = 1,
                  reductions: tuple[str, ...] = (),
                  engine: str = "interpreted") -> None:
@@ -119,6 +125,7 @@ class ExplorationCore:
                                       else NullObserver())
         self.max_states = max_states
         self.max_seconds = max_seconds
+        self.max_bytes = max_bytes
         self.workers = workers
         self.reductions = reductions
         self.engine = engine
@@ -135,17 +142,32 @@ class ExplorationCore:
         self.observer.on_start(RunInfo(
             name=self.name, store=self.store.name, workers=self.workers,
             max_states=self.max_states, max_seconds=self.max_seconds,
-            reductions=self.reductions, engine=self.engine))
+            reductions=self.reductions, engine=self.engine,
+            partitions=int(getattr(self.store, "partitions", 1)),
+            max_bytes=self.max_bytes))
 
     def elapsed(self) -> float:
         return time.perf_counter() - self.t0
 
     def should_stop(self) -> bool:
-        """Check both budgets; record the stop reason on the first trip."""
+        """Check every budget; record the stop reason on the first trip.
+
+        The state budget is exact and driver-independent; the memory
+        budget compares the store's own footprint estimate (Python
+        object sizes, so machine/version-dependent — a *graceful* stand-
+        in for the paper's 64 MB memory allotment, which killed SPIN
+        outright); the time budget is wall clock.
+        """
         if (self.max_states is not None
                 and len(self.store) > self.max_states):
             self.completed = False
             self.stop_reason = f"state budget {self.max_states} exceeded"
+            return True
+        if (self.max_bytes is not None
+                and self.store.approx_bytes() > self.max_bytes):
+            self.completed = False
+            self.stop_reason = (f"memory budget "
+                                f"{_fmt_bytes(self.max_bytes)} exceeded")
             return True
         if (self.max_seconds is not None
                 and self.elapsed() > self.max_seconds):
@@ -167,12 +189,15 @@ class ExplorationCore:
             n_states=len(self.store), n_transitions=self.n_transitions,
             deadlocks=self.deadlock_count, collisions=self.store.collisions,
             approx_bytes=self.store.approx_bytes(), seconds=self.elapsed(),
-            enabled=candidates if enabled is None else enabled))
+            enabled=candidates if enabled is None else enabled,
+            spill_bytes=_store_spill_bytes(self.store)))
 
     def result(self, *, deadlocks: Optional[list[Counterexample]] = None,
                violations: Optional[list[Counterexample]] = None,
                graph: Optional[dict[Any, list[tuple[Any, Any]]]] = None,
                ) -> ExplorationResult:
+        rows = getattr(self.store, "partition_rows", None)
+        detail = getattr(self.store, "approx_bytes_detail", None)
         outcome = ExplorationResult(
             system_name=self.name,
             n_states=len(self.store),
@@ -189,6 +214,10 @@ class ExplorationCore:
             fingerprint_collisions=self.store.collisions,
             n_enabled=self.n_enabled or self.n_transitions,
             reductions=self.reductions,
+            partition_stats=tuple(rows()) if callable(rows) else (),
+            spill_bytes=_store_spill_bytes(self.store),
+            approx_bytes_detail=(dict(detail()) if callable(detail)
+                                 else None),
         )
         self.observer.on_finish(outcome)
         return outcome
@@ -201,6 +230,7 @@ def explore(
     invariants: Sequence[Invariant] = (),
     max_states: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    max_bytes: Optional[int] = None,
     keep_graph: bool = False,
     stop_on_violation: bool = True,
     allow_deadlock: bool = False,
@@ -215,6 +245,11 @@ def explore(
     :param max_states: emulate a memory cap; exceeding it stops the run with
         ``completed=False`` (a Table 3 "Unfinished" cell).
     :param max_seconds: wall-clock cap with the same early-stop behaviour.
+    :param max_bytes: memory cap on the visited store's own footprint
+        estimate; crossing it ends the run as a well-formed "Unfinished"
+        result (the paper's 64 MB allotment, minus the OOM kill).  The
+        estimate is Python-object sizes, so unlike ``max_states`` the
+        truncation point is machine-dependent.
     :param keep_graph: retain full adjacency for SCC/progress analysis
         (memory-heavy; only for small systems or livelock checks).
     :param stop_on_violation: stop at the first invariant violation instead
@@ -244,7 +279,7 @@ def explore(
     """
     core = ExplorationCore(name=name, store=store, observer=observer,
                            max_states=max_states, max_seconds=max_seconds,
-                           reductions=reductions,
+                           max_bytes=max_bytes, reductions=reductions,
                            engine=(engine if engine is not None
                                    else system_engine(system)))
     core.start()
@@ -262,6 +297,12 @@ def explore(
             # hash compaction keeps no states: the witness is the state
             # itself, with no path back to the initial state
             return [state], []
+        tracer = getattr(visited, "action_trace", None)
+        if callable(tracer):
+            # delta-compressed stores keep action provenance, not state
+            # objects: replay the actions through the live system
+            steps_only: list[Any] = tracer(state)
+            return replay_actions(system, steps_only), steps_only
         states: list[Any] = [state]
         steps: list[Any] = []
         cursor = state
@@ -347,3 +388,26 @@ def _with_trace(build_trace: Callable[[Hashable], tuple[list[Hashable],
                 state: Hashable) -> Counterexample:
     states, steps = build_trace(state)
     return Counterexample("deadlock-freedom", states, steps)
+
+
+def replay_actions(system: System, steps: list[Any]) -> list[Any]:
+    """Rematerialize the state path of an action sequence from the root.
+
+    Inverse of :meth:`~repro.check.store.PartitionedExactStore.
+    action_trace`: transitions in these systems are deterministic per
+    action label (a delivery action names the message and the node), so
+    following the recorded actions through ``successors`` rebuilds the
+    exact state sequence the classic parent-pointer walk would return.
+    Replay always consults the *full* successor relation, so traces
+    recorded under a reducing wrapper still resolve.
+    """
+    states: list[Any] = [system.initial_state()]
+    for action in steps:
+        for cand_action, nxt in system.successors(states[-1]):
+            if cand_action == action:
+                states.append(nxt)
+                break
+        else:
+            raise KeyError(f"action {action!r} is not enabled during "
+                           "trace replay (store/system mismatch)")
+    return states

@@ -9,16 +9,17 @@ consumers the CLI and benchmarks use:
   size, cumulative states, states/sec, dedup ratio, approximate bytes),
   the model checker's analogue of a progress bar;
 * :class:`JsonProfileWriter` records the same events as a JSON document
-  (schema ``repro.profile/3``) for offline analysis and for the CI
+  (schema ``repro.profile/4``) for offline analysis and for the CI
   benchmark artifact.
 
-Profile JSON schema (``repro.profile/3``)::
+Profile JSON schema (``repro.profile/4``)::
 
     {
-      "schema": "repro.profile/3",
+      "schema": "repro.profile/4",
       "run": {"name": ..., "store": "exact"|"fingerprint",
               "workers": int, "max_states": int|null,
-              "max_seconds": float|null,
+              "max_seconds": float|null, "max_bytes": int|null,
+              "partitions": int,
               "reductions": ["symmetry"?, "por"?],
               "engine": "interpreted"|"compiled"},
       "levels": [ {"level": int, "frontier": int, "expanded": int,
@@ -26,15 +27,25 @@ Profile JSON schema (``repro.profile/3``)::
                    "new_states": int,
                    "n_states": int, "n_transitions": int,
                    "deadlocks": int, "collisions": int,
-                   "approx_bytes": int, "seconds": float,
+                   "approx_bytes": int, "spill_bytes": int,
+                   "seconds": float,
                    "dedup_ratio": float, "states_per_sec": float,
                    "reduction_ratio": float}, ... ],
+      "partitions": [ {"partition": int, "owned": int, "probes": int,
+                       "collisions": int, "approx_bytes": int,
+                       "spill_bytes": int, "spill_merges": int,
+                       "dedup_ratio": float,
+                       ("exchanged_batches": int,
+                        "exchanged_states": int,
+                        "received_candidates": int)?}, ... ],
       "result": {"system": str, "store": str, "n_states": int,
                  "n_transitions": int, "n_enabled": int,
                  "reductions": [str, ...], "deadlocks": int,
                  "fingerprint_collisions": int, "seconds": float,
                  "completed": bool, "stop_reason": str|null,
-                 "approx_bytes": int}
+                 "approx_bytes": int, "spill_bytes": int,
+                 "approx_bytes_detail": {"entries": int,
+                                         "state_caches": int}|null}
     }
 
 ``/2`` is a strict superset of ``/1``: it *adds* the reduction
@@ -46,8 +57,16 @@ active) and the derived ``levels[].reduction_ratio``.  ``/3`` adds only
 (``"interpreted"``, the guard-AST interpreter, or ``"compiled"``, the
 protocol-specialized module from :mod:`repro.refine.compiled`).  Counts
 are engine-independent by construction; the field exists so throughput
-numbers are never compared across engines by accident.  Readers of
-older schemas keep working unchanged.
+numbers are never compared across engines by accident.  ``/4`` adds the
+partitioned-exploration observability: ``run.partitions`` and
+``run.max_bytes``, per-level ``spill_bytes``, the top-level
+``partitions`` list (one row per visited-set partition: states owned,
+membership probes, detected collisions, resident and spilled bytes,
+merge count, dedup ratio — plus the batch-exchange counters when the
+owner-computes driver produced the row; empty for unpartitioned runs),
+and the result's ``spill_bytes``/``approx_bytes_detail`` (the exact
+store's entries-vs-memo-cache split; null for stores without one).
+Readers of older schemas keep working unchanged.
 
 ``levels`` includes the partial level in flight when a budget truncates
 the run, so profiles of "Unfinished" cells show exactly where the wall
@@ -64,7 +83,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import IO, Optional, Protocol, Union
 
-from .stats import ExplorationResult
+from .stats import ExplorationResult, _fmt_bytes
 
 __all__ = [
     "RunInfo",
@@ -77,7 +96,7 @@ __all__ = [
     "PROFILE_SCHEMA",
 ]
 
-PROFILE_SCHEMA = "repro.profile/3"
+PROFILE_SCHEMA = "repro.profile/4"
 
 
 @dataclass(frozen=True)
@@ -95,6 +114,11 @@ class RunInfo:
     #: step engine that produced the successors ("interpreted" or
     #: "compiled"); counts never depend on it, throughput does
     engine: str = "interpreted"
+    #: visited-set partitions (1 = classic unsharded store); either
+    #: in-process ranges or one owner process per partition
+    partitions: int = 1
+    #: memory budget on the store footprint estimate, None = unbounded
+    max_bytes: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -127,6 +151,9 @@ class LevelEvent:
     #: them (== ``candidates`` when no reduction is active; 0 from
     #: pre-/2 producers that never measured it)
     enabled: int = 0
+    #: bytes spilled to disk across all partitions after this level
+    #: (0 for stores without a disk tier)
+    spill_bytes: int = 0
 
     @property
     def dedup_ratio(self) -> float:
@@ -195,15 +222,6 @@ class MultiObserver:
             obs.on_finish(result)
 
 
-def _fmt_bytes(n: int) -> str:
-    value = float(n)
-    for unit in ("B", "KiB", "MiB", "GiB"):
-        if value < 1024 or unit == "GiB":
-            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
-        value /= 1024
-    return f"{value:.1f}GiB"  # pragma: no cover - loop always returns
-
-
 class ProgressRenderer:
     """One human-readable line per level, SPIN-progress style."""
 
@@ -216,11 +234,16 @@ class ProgressRenderer:
             budget.append(f"max_states={run.max_states}")
         if run.max_seconds is not None:
             budget.append(f"max_seconds={run.max_seconds}")
+        if run.max_bytes is not None:
+            budget.append(f"max_bytes={_fmt_bytes(run.max_bytes)}")
         suffix = f" [{', '.join(budget)}]" if budget else ""
         if run.reductions:
             suffix += f" [reductions: {'+'.join(run.reductions)}]"
+        sharding = (f", partitions={run.partitions}"
+                    if run.partitions > 1 else "")
         print(f"exploring {run.name} (store={run.store}, "
-              f"workers={run.workers}, engine={run.engine}){suffix}",
+              f"workers={run.workers}{sharding}, "
+              f"engine={run.engine}){suffix}",
               file=self.stream)
 
     def on_level(self, event: LevelEvent) -> None:
@@ -229,6 +252,8 @@ class ProgressRenderer:
                 f"{event.states_per_sec:8.0f} st/s  "
                 f"dedup {event.dedup_ratio:5.1%}  "
                 f"mem {_fmt_bytes(event.approx_bytes)}")
+        if event.spill_bytes:
+            line += f"  spill {_fmt_bytes(event.spill_bytes)}"
         if event.reduction_ratio > 0:
             line += f"  reduced {event.reduction_ratio:5.1%}"
         if event.collisions:
@@ -239,6 +264,22 @@ class ProgressRenderer:
 
     def on_finish(self, result: ExplorationResult) -> None:
         print(f"  done: {result.describe()}", file=self.stream)
+        if result.fingerprint_collisions:
+            print(f"  fingerprint collisions detected: "
+                  f"{result.fingerprint_collisions} (lower bound on "
+                  f"states hash compaction may have merged)",
+                  file=self.stream)
+        for row in result.partition_stats:
+            line = (f"  partition {row['partition']}: "
+                    f"owned {row['owned']}  probes {row['probes']}  "
+                    f"dedup {float(row['dedup_ratio']):5.1%}  "
+                    f"mem {_fmt_bytes(row['approx_bytes'])}")
+            if row.get("spill_bytes"):
+                line += (f"  spill {_fmt_bytes(row['spill_bytes'])} "
+                         f"({row.get('spill_merges', 0)} merges)")
+            if row.get("collisions"):
+                line += f"  collisions {row['collisions']}"
+            print(line, file=self.stream)
 
 
 class JsonProfileWriter:
@@ -277,6 +318,7 @@ class JsonProfileWriter:
             "schema": PROFILE_SCHEMA,
             "run": run,
             "levels": levels,
+            "partitions": [dict(row) for row in result.partition_stats],
             "result": {
                 "system": result.system_name,
                 "store": result.store,
@@ -290,5 +332,7 @@ class JsonProfileWriter:
                 "completed": result.completed,
                 "stop_reason": result.stop_reason,
                 "approx_bytes": result.approx_bytes,
+                "spill_bytes": result.spill_bytes,
+                "approx_bytes_detail": result.approx_bytes_detail,
             },
         }

@@ -42,6 +42,17 @@ divergence this module shipped with).  Workers may expand a few states
 speculatively past the stop point; their results are discarded, never
 counted.  Invariant checking and trace reconstruction stay
 sequential-only features.
+
+The master-replay split keeps one visited store in the master process —
+its dict insertions and its RAM bound every run.  The *owner-computes*
+driver in :mod:`repro.check.partitioned` removes that ceiling: workers
+own fingerprint-range partitions of the visited set outright and
+exchange cross-partition successors in batches at this same
+level-synchronous barrier, with the master reduced to replaying integer
+counts.  This module remains the right tool when states are cheap to
+ship and one machine-sized store suffices; both drivers share
+:class:`~repro.check.explorer.ExplorationCore`, :class:`SystemSpec`,
+and :func:`build_system`.
 """
 
 from __future__ import annotations
@@ -257,6 +268,7 @@ def explore_parallel(
     workers: Optional[int] = None,
     max_states: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    max_bytes: Optional[int] = None,
     fanout_threshold: int = 256,
     chunk_size: int = 128,
     allow_deadlock: bool = False,
@@ -283,13 +295,14 @@ def explore_parallel(
     name = f"{spec.protocol}-{spec.level}-{spec.n_remotes}-parallel"
     if workers == 1:
         return explore(local_system, name=name, max_states=max_states,
-                       max_seconds=max_seconds,
+                       max_seconds=max_seconds, max_bytes=max_bytes,
                        allow_deadlock=allow_deadlock,
                        store=store, observer=observer,
                        reductions=spec.reductions())
 
     core = ExplorationCore(name=name, store=store, observer=observer,
                            max_states=max_states, max_seconds=max_seconds,
+                           max_bytes=max_bytes,
                            workers=workers, reductions=spec.reductions(),
                            engine=spec.engine)
     core.start()

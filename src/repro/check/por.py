@@ -122,7 +122,7 @@ class PORSystem:
     Exposes the same ``initial_state``/``steps``/``successors`` surface
     as the inner system plus :meth:`expand`, which the drivers use to
     report the full enabled count next to the reduced successor list
-    (the per-level reduction ratio in ``repro.profile/3``).  Compose
+    (the per-level reduction ratio in ``repro.profile/4``).  Compose
     with symmetry as ``SymmetricSystem(PORSystem(inner), spec)`` —
     reduction picks the ample step on the concrete state, normalization
     canonicalizes the survivors.

@@ -1,0 +1,185 @@
+"""mmap-backed sorted spill files for partitioned fingerprint stores.
+
+A :class:`SpillFile` is the cold tier of one visited-set partition: a
+flat, sorted array of ``(fingerprint, check)`` pairs on disk, memory-
+mapped for lookups.  The hot tier (a dict in
+:class:`~repro.check.store.PartitionedFingerprintStore`) absorbs new
+states; when it crosses the spill threshold it is *merged* into the
+file — a single sequential two-way merge of the existing records with
+the sorted hot entries, written to a temp file and atomically renamed —
+and the hot tier starts over empty.  Lookups binary-search the mapping
+(``struct.unpack_from`` directly on the mmap, no record objects), so a
+partition's resident cost is the hot dict plus page cache the OS is
+free to drop: exactly the "64 MB allotment" discipline behind the
+paper's Table 3 runs, except the wall is now configurable
+(``--memory-limit``) and crossing it truncates gracefully instead of
+dying.
+
+File layout (all integers big-endian)::
+
+    bytes 0..7    magic  b"RSPILL01"
+    bytes 8..15   record count (u64)
+    then count records of 16 bytes: fingerprint (u64), check hash (u64)
+
+Records are unique by fingerprint and sorted ascending, which the merge
+maintains; a duplicate fingerprint offered to :meth:`SpillFile.merge`
+keeps the incumbent record (first-writer-wins, matching the hot dict's
+semantics).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+from pathlib import Path
+from typing import IO, Iterator, Optional, Union
+
+__all__ = ["SpillFile", "MAGIC", "RECORD_SIZE"]
+
+MAGIC = b"RSPILL01"
+_HEADER = struct.Struct(">8sQ")
+_RECORD = struct.Struct(">QQ")
+#: bytes per on-disk record: fingerprint u64 + check hash u64
+RECORD_SIZE = _RECORD.size
+HEADER_SIZE = _HEADER.size
+
+
+class SpillFile:
+    """One partition's sorted on-disk fingerprint array.
+
+    Opening an existing path validates the header and maps the records;
+    a missing path starts empty (the file is created by the first
+    :meth:`merge`).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._file: Optional[IO[bytes]] = None
+        self._mm: Optional[mmap.mmap] = None
+        self._count = 0
+        if self.path.exists():
+            self._open()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _open(self) -> None:
+        fh = open(self.path, "rb")
+        header = fh.read(HEADER_SIZE)
+        if len(header) != HEADER_SIZE:
+            fh.close()
+            raise ValueError(f"{self.path}: truncated spill header")
+        magic, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            fh.close()
+            raise ValueError(f"{self.path}: bad spill magic {magic!r}")
+        expected = HEADER_SIZE + count * RECORD_SIZE
+        actual = os.fstat(fh.fileno()).st_size
+        if actual != expected:
+            fh.close()
+            raise ValueError(
+                f"{self.path}: spill file is {actual} bytes, header "
+                f"promises {expected} ({count} records)")
+        self._file = fh
+        self._count = count
+        self._mm = (mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+                    if count else None)
+
+    def close(self) -> None:
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def spill_bytes(self) -> int:
+        """On-disk size of the spill file (0 before the first merge)."""
+        return HEADER_SIZE + self._count * RECORD_SIZE if self._count else 0
+
+    # -- queries -----------------------------------------------------------
+
+    def lookup(self, fingerprint: int) -> Optional[int]:
+        """The check hash stored for ``fingerprint``, or None if absent."""
+        mm = self._mm
+        if mm is None:
+            return None
+        unpack = _RECORD.unpack_from
+        lo, hi = 0, self._count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            rec_fp, check = unpack(mm, HEADER_SIZE + mid * RECORD_SIZE)
+            if rec_fp == fingerprint:
+                return int(check)
+            if rec_fp < fingerprint:
+                lo = mid + 1
+            else:
+                hi = mid
+        return None
+
+    def __contains__(self, fingerprint: int) -> bool:
+        return self.lookup(fingerprint) is not None
+
+    def fingerprints(self) -> Iterator[int]:
+        """All stored fingerprints, ascending (filter (re)seeding)."""
+        mm = self._mm
+        if mm is None:
+            return
+        unpack = _RECORD.unpack_from
+        for i in range(self._count):
+            yield int(unpack(mm, HEADER_SIZE + i * RECORD_SIZE)[0])
+
+    # -- mutation ----------------------------------------------------------
+
+    def merge(self, entries: dict[int, int]) -> None:
+        """Merge ``{fingerprint: check}`` into the file, atomically.
+
+        Streams a two-way merge of the existing sorted records and the
+        sorted new entries into ``<path>.tmp``, then ``os.replace``\\ s it
+        over the original and re-maps.  Existing records win fingerprint
+        ties (they were admitted first).
+        """
+        fresh = sorted(entries.items())
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        old, n_old = self._mm, self._count
+        unpack = _RECORD.unpack_from
+        pack = _RECORD.pack
+        written = 0
+        with open(tmp, "wb") as out:
+            out.write(_HEADER.pack(MAGIC, 0))  # count patched below
+            i = j = 0
+            old_fp, old_check = (unpack(old, HEADER_SIZE)
+                                 if old is not None and n_old else (0, 0))
+            while i < n_old and j < len(fresh):
+                new_fp, new_check = fresh[j]
+                if old_fp <= new_fp:
+                    out.write(pack(old_fp, old_check))
+                    written += 1
+                    if old_fp == new_fp:
+                        j += 1  # incumbent wins the tie
+                    i += 1
+                    if i < n_old:
+                        assert old is not None
+                        old_fp, old_check = unpack(
+                            old, HEADER_SIZE + i * RECORD_SIZE)
+                else:
+                    out.write(pack(new_fp, new_check))
+                    written += 1
+                    j += 1
+            while i < n_old:
+                assert old is not None
+                out.write(pack(*unpack(old, HEADER_SIZE + i * RECORD_SIZE)))
+                written += 1
+                i += 1
+            for new_fp, new_check in fresh[j:]:
+                out.write(pack(new_fp, new_check))
+                written += 1
+            out.seek(0)
+            out.write(_HEADER.pack(MAGIC, written))
+        self.close()
+        os.replace(tmp, self.path)
+        self._open()

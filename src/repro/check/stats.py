@@ -16,6 +16,16 @@ from typing import Any, Optional
 __all__ = ["ExplorationResult", "Counterexample"]
 
 
+def _fmt_bytes(n: int) -> str:
+    """Human-readable byte count (shared by narration and renderers)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}GiB"  # pragma: no cover - loop always returns
+
+
 @dataclass
 class Counterexample:
     """A finite trace witnessing a property violation.
@@ -85,6 +95,19 @@ class ExplorationResult:
     #: state-space reductions active during the run, inner wrapper
     #: first (e.g. ``("por", "symmetry")``)
     reductions: tuple[str, ...] = ()
+    #: one statistics row per visited-set partition (profile/4 rows:
+    #: ``partition``/``owned``/``probes``/``collisions``/``approx_bytes``
+    #: /``spill_bytes``/``spill_merges``/``dedup_ratio``, plus the batch
+    #: exchange counters under the owner-computes driver); empty for
+    #: unpartitioned stores
+    partition_stats: tuple[dict[str, Any], ...] = ()
+    #: bytes the store spilled to disk (mmap cold tier); 0 for purely
+    #: resident stores
+    spill_bytes: int = 0
+    #: optional breakdown of ``approx_bytes`` (the exact store reports
+    #: ``{"entries": ..., "state_caches": ...}`` — classic dict entries
+    #: vs the per-state encoding memo caches)
+    approx_bytes_detail: Optional[dict[str, int]] = None
 
     def __post_init__(self) -> None:
         if self.deadlocks and self.deadlock_count < len(self.deadlocks):
@@ -121,6 +144,14 @@ class ExplorationResult:
             if self.n_enabled > self.n_transitions:
                 pruned = 1.0 - self.n_transitions / self.n_enabled
                 extra += f" (pruned {pruned:.1%} of enabled transitions)"
+        if self.approx_bytes:
+            # the store's own footprint estimate — the same number every
+            # driver's memory budget is checked against
+            extra += f", ~{_fmt_bytes(self.approx_bytes)} visited set"
+            if self.spill_bytes:
+                extra += f" + {_fmt_bytes(self.spill_bytes)} spilled"
+        if self.partition_stats:
+            extra += f", {len(self.partition_stats)} partition(s)"
         return (f"{self.system_name}: {self.n_states} states, "
                 f"{self.n_transitions} transitions in {self.seconds:.2f}s "
                 f"[{status}]{extra}")

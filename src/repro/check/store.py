@@ -30,14 +30,44 @@ plain hashable states (ints in the unit-test toy systems) are used as-is.
 Both stores meter their own memory via :meth:`StateStore.approx_bytes`,
 replacing the explorer's old sample-one-key guess that ignored the
 parent-pointer payloads entirely — so the Table 3 "Unfinished" narration
-is computed the same way in every driver.
+is computed the same way in every driver.  The estimate includes the
+per-state memo caches (``_blob_cache``/``_key_cache``/``_hash_cache``)
+the encoding layer pins on exact-store states: they are real, per-state,
+store-lifetime memory, and omitting them undercounted exact runs by 2-3x.
+
+The *partitioned* family shards the visited set by fingerprint range
+(:func:`partition_index` — distributed-SPIN ownership):
+
+* :class:`PartitionedFingerprintStore` keeps one hot ``{fingerprint:
+  check}`` dict per partition and, when a spill directory is configured,
+  merges a partition crossing the spill threshold into an mmap-backed
+  sorted file (:mod:`repro.check.spill`), so the resident footprint is
+  bounded by ``partitions x spill_threshold`` entries.
+* :class:`PartitionedExactStore` replaces full state objects with
+  zlib state-delta-compressed canonical blobs (dictionary = the initial
+  state's encoding, which every reachable state differs from by a few
+  fields) plus integer parent/action arrays — traces survive at a small
+  fraction of the classic layout's bytes/state, rebuilt by action replay
+  (:meth:`PartitionedExactStore.action_trace`) instead of parent-object
+  chasing.
+
+Both accept membership probes/inserts from any process; the router is a
+pure function of the blake2b fingerprint, so partition assignment is
+stable across processes, runs, and multiprocessing start methods — the
+property the owner-computes driver (:mod:`repro.check.partitioned`)
+relies on.
 """
 
 from __future__ import annotations
 
 import sys
+import zlib
+from array import array
 from hashlib import blake2b
+from pathlib import Path
 from typing import Any, Hashable, Iterator, Optional, Protocol, Union
+
+from .spill import SpillFile
 
 __all__ = [
     "STORE_NAMES",
@@ -45,10 +75,15 @@ __all__ = [
     "StateStore",
     "ExactStore",
     "FingerprintStore",
+    "PartitionedFingerprintStore",
+    "PartitionedExactStore",
     "StoreSpec",
     "canonical",
     "fingerprint",
+    "partition_index",
+    "partition_of",
     "make_store",
+    "make_partitioned_store",
 ]
 
 #: BFS provenance of a state: ``(predecessor, action)``; ``None`` for the
@@ -159,6 +194,23 @@ def fingerprint(state: Hashable, *, salt: bytes = b"") -> int:
     return int.from_bytes(digest, "big")
 
 
+def partition_index(fp: int, partitions: int) -> int:
+    """The owning partition of 64-bit fingerprint ``fp``: range sharding.
+
+    ``(fp * partitions) >> 64`` maps the fingerprint space onto
+    ``range(partitions)`` in contiguous, near-equal ranges (Lemire's
+    multiply-shift reduction).  A pure function of the fingerprint — no
+    per-process salt, no ``hash()`` — so every process and every
+    multiprocessing start method routes a given state to the same owner.
+    """
+    return (fp * partitions) >> 64
+
+
+def partition_of(state: Hashable, partitions: int) -> int:
+    """The owning partition of ``state`` (fingerprint + range router)."""
+    return partition_index(fingerprint(state), partitions)
+
+
 # ---------------------------------------------------------------------------
 # the store interface
 # ---------------------------------------------------------------------------
@@ -222,15 +274,24 @@ class ExactStore:
         return self._parents[state]
 
     def approx_bytes(self) -> int:
-        """Dict overhead plus sampled per-entry cost, parents included.
+        """Dict overhead plus sampled per-entry cost, caches included.
 
         Deliberately rough — it narrates the Table 3 memory-budget story,
         it does not meter CPython precisely.  Unlike the explorer's old
-        estimate it samples the parent-pointer payload too (a two-tuple
-        per non-initial state), which is real, per-state memory.
+        estimate it samples the parent-pointer payload (a two-tuple per
+        non-initial state) *and* the per-state memo caches the encoding
+        layer pins on states (``_blob_cache``/``_key_cache``/
+        ``_hash_cache``): both are real, per-state memory that lives
+        exactly as long as the store does, and the caches alone
+        undercounted exact runs by 2-3x before they were metered.
         """
+        detail = self.approx_bytes_detail()
+        return detail["entries"] + detail["state_caches"]
+
+    def approx_bytes_detail(self) -> dict[str, int]:
+        """The estimate split into classic entries vs memo caches."""
         if not self._parents:
-            return 0
+            return {"entries": 0, "state_caches": 0}
         # Sample the newest entry: the initial state (the oldest) is the
         # only one with a None parent, so the newest is representative.
         state = next(reversed(self._parents))
@@ -238,7 +299,17 @@ class ExactStore:
         per_parent = 0 if entry is None else (
             sys.getsizeof(entry) + sys.getsizeof(entry[1]))
         per_state = sys.getsizeof(state) + per_parent
-        return sys.getsizeof(self._parents) + len(self._parents) * per_state
+        per_cache = 0
+        d = getattr(state, "__dict__", None)
+        if d is not None:
+            per_cache = sys.getsizeof(d)
+            for attr in ("_blob_cache", "_key_cache", "_hash_cache"):
+                value = d.get(attr)
+                if value is not None:
+                    per_cache += sys.getsizeof(value)
+        n = len(self._parents)
+        return {"entries": sys.getsizeof(self._parents) + n * per_state,
+                "state_caches": n * per_cache}
 
 
 class FingerprintStore:
@@ -302,6 +373,393 @@ class FingerprintStore:
 
 
 # ---------------------------------------------------------------------------
+# partitioned stores (distributed-SPIN ownership)
+# ---------------------------------------------------------------------------
+
+#: front-filter size per spilled partition: 2 MiB = 2^24 one-bit buckets.
+#: Only allocated once a partition has actually spilled; before that the
+#: hot dict alone answers membership.
+_FILTER_BYTES = 1 << 21
+_FILTER_MASK = (_FILTER_BYTES * 8) - 1
+
+
+class PartitionedFingerprintStore:
+    """Hash compaction sharded by fingerprint range, with a disk tier.
+
+    Each partition owns a contiguous fingerprint range
+    (:func:`partition_index`) and keeps a hot ``{fingerprint: check}``
+    dict.  With a ``spill_dir``, a partition whose hot tier reaches
+    ``spill_threshold`` entries is merged into an mmap-backed sorted
+    file (:class:`~repro.check.spill.SpillFile`) and the hot dict starts
+    over — bounding resident memory at roughly ``partitions x
+    spill_threshold`` entries regardless of how large the explored space
+    grows.  A 2 MiB per-partition bit filter (allocated at first spill)
+    short-circuits most absent-key probes so cold lookups rarely touch
+    the mmap.
+
+    Membership semantics are identical to :class:`FingerprintStore`
+    (same double blake2b fingerprints, same detected-collision counting,
+    same ``bits`` truncation hook for tests), so swapping one for the
+    other cannot change exploration counts.  ``partitions=1`` is the
+    worker-side configuration of the owner-computes driver: one process,
+    one owned range.
+    """
+
+    supports_traces = False
+
+    def __init__(self, partitions: int, *, bits: int = 64,
+                 spill_dir: Optional[Union[str, Path]] = None,
+                 spill_threshold: int = 1 << 20) -> None:
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        if not 1 <= bits <= 64:
+            raise ValueError(f"fingerprint bits must be in 1..64, got {bits}")
+        if spill_threshold < 1:
+            raise ValueError(
+                f"spill threshold must be >= 1, got {spill_threshold}")
+        self.name = "fingerprint"
+        self.partitions = partitions
+        self.collisions = 0
+        self._mask = (1 << bits) - 1
+        self._hot: list[dict[int, int]] = [{} for _ in range(partitions)]
+        self._spill: list[Optional[SpillFile]] = [None] * partitions
+        self._filters: list[Optional[bytearray]] = [None] * partitions
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._threshold = spill_threshold
+        self._len = 0
+        self._probes = [0] * partitions
+        self._partition_collisions = [0] * partitions
+        self._merges = [0] * partitions
+        if self._spill_dir is not None:
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+
+    def _locate(self, state: Hashable) -> tuple[int, int, int]:
+        """(partition, masked fingerprint key, check hash) of ``state``.
+
+        Routing uses the *untruncated* primary fingerprint so the
+        ``bits`` test hook cannot collapse every key into partition 0.
+        """
+        digest = blake2b(_encode(state), digest_size=16).digest()
+        fp = int.from_bytes(digest[:8], "big")
+        return (partition_index(fp, self.partitions), fp & self._mask,
+                int.from_bytes(digest[8:], "big"))
+
+    def _lookup(self, p: int, key: int) -> Optional[int]:
+        """Check hash stored under ``key`` in partition ``p``, else None."""
+        flt = self._filters[p]
+        if flt is not None:
+            idx = key & _FILTER_MASK
+            if not (flt[idx >> 3] >> (idx & 7)) & 1:
+                return None  # filter covers hot+spill: definitely absent
+        current = self._hot[p].get(key)
+        if current is None:
+            spill = self._spill[p]
+            if spill is not None:
+                return spill.lookup(key)
+        return current
+
+    def add(self, state: Hashable, parent: ParentEntry = None) -> bool:
+        p, key, check = self._locate(state)
+        self._probes[p] += 1
+        current = self._lookup(p, key)
+        if current is not None:
+            if current != check:
+                self.collisions += 1
+                self._partition_collisions[p] += 1
+            return False
+        hot = self._hot[p]
+        hot[key] = check
+        flt = self._filters[p]
+        if flt is not None:
+            idx = key & _FILTER_MASK
+            flt[idx >> 3] |= 1 << (idx & 7)
+        self._len += 1
+        if self._spill_dir is not None and len(hot) >= self._threshold:
+            self._merge(p)
+        return True
+
+    def probe(self, state: Hashable) -> tuple[int, bool]:
+        """(membership key, already present?) — no mutation, no collision
+        accounting.  The owner-computes driver's admission *simulation*
+        uses this to predict what :meth:`add` will decide without
+        perturbing the store or its statistics."""
+        p, key, _check = self._locate(state)
+        return key, self._lookup(p, key) is not None
+
+    def _merge(self, p: int) -> None:
+        assert self._spill_dir is not None
+        spill = self._spill[p]
+        if spill is None:
+            spill = self._spill[p] = SpillFile(
+                self._spill_dir / f"partition-{p:04d}.spill")
+        flt = self._filters[p]
+        if flt is None:
+            flt = self._filters[p] = bytearray(_FILTER_BYTES)
+            # Seed from any pre-existing spill records; the hot tier is
+            # folded in below, so the filter covers the whole partition.
+            for key in spill.fingerprints():
+                idx = key & _FILTER_MASK
+                flt[idx >> 3] |= 1 << (idx & 7)
+        hot = self._hot[p]
+        for key in hot:
+            idx = key & _FILTER_MASK
+            flt[idx >> 3] |= 1 << (idx & 7)
+        spill.merge(hot)
+        hot.clear()
+        self._merges[p] += 1
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __contains__(self, state: Hashable) -> bool:
+        p, key, _check = self._locate(state)
+        return self._lookup(p, key) is not None
+
+    def parent_of(self, state: Hashable) -> ParentEntry:
+        raise KeyError(
+            "fingerprint stores keep no states, so no parent pointers")
+
+    def approx_bytes(self) -> int:
+        """Resident bytes: hot dicts + bit filters.  Spilled records live
+        on disk (see :meth:`spill_bytes`) and page cache the OS may drop,
+        so they deliberately do not count against ``--memory-limit``."""
+        total = 0
+        for p in range(self.partitions):
+            total += sys.getsizeof(self._hot[p]) + 16 * len(self._hot[p])
+            flt = self._filters[p]
+            if flt is not None:
+                total += sys.getsizeof(flt)
+        return total
+
+    def spill_bytes(self) -> int:
+        """Total on-disk bytes across all partition spill files."""
+        return sum(spill.spill_bytes for spill in self._spill
+                   if spill is not None)
+
+    def partition_rows(self) -> list[dict[str, object]]:
+        """Per-partition statistics rows for ``repro.profile/4``."""
+        rows: list[dict[str, object]] = []
+        for p in range(self.partitions):
+            spill = self._spill[p]
+            flt = self._filters[p]
+            owned = len(self._hot[p]) + (len(spill) if spill is not None
+                                         else 0)
+            probes = self._probes[p]
+            approx = sys.getsizeof(self._hot[p]) + 16 * len(self._hot[p])
+            if flt is not None:
+                approx += sys.getsizeof(flt)
+            rows.append({
+                "partition": p,
+                "owned": owned,
+                "probes": probes,
+                "collisions": self._partition_collisions[p],
+                "approx_bytes": approx,
+                "spill_bytes": spill.spill_bytes if spill is not None else 0,
+                "spill_merges": self._merges[p],
+                "dedup_ratio": (round(1.0 - owned / probes, 4)
+                                if probes else 0.0),
+            })
+        return rows
+
+    def close(self) -> None:
+        for spill in self._spill:
+            if spill is not None:
+                spill.close()
+
+
+#: sys.getsizeof(b"") — fixed CPython bytes-object header cost, charged
+#: per stored key on top of the payload bytes.
+_BYTES_HEADER = sys.getsizeof(b"")
+
+
+class PartitionedExactStore:
+    """Exact membership via state-delta-compressed canonical blobs.
+
+    The classic :class:`ExactStore` keeps every state *object* (plus its
+    memo caches) alive for the whole run — hundreds of bytes per state —
+    because parent pointers reference the objects directly.  This store
+    keeps none of them.  Each state is reduced to its canonical byte
+    encoding, deflate-compressed against a shared dictionary — the
+    *initial state's* encoding, which every reachable state is a small
+    delta of, so compression strips exactly the shared structure — and
+    the compressed blob keys a per-partition dict mapping to a dense
+    global id.  Provenance is two parallel ``array('q')`` columns
+    (parent id, interned action id): 16 bytes per state.
+
+    Traces survive: :meth:`action_trace` walks the id columns back to
+    the root and returns the action sequence, which the explorer replays
+    through the live system to rematerialize the state path.  Equality
+    of canonical encodings coincides with state equality (the encoding
+    is injective — the same property the fingerprint store's soundness
+    rests on), so counts are byte-identical to :class:`ExactStore`.
+    """
+
+    supports_traces = True
+    collisions = 0
+
+    def __init__(self, partitions: int = 1, *, compress: bool = True) -> None:
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        self.name = "exact"
+        self.partitions = partitions
+        self._compress = compress
+        self._ids: list[dict[bytes, int]] = [{} for _ in range(partitions)]
+        self._parents = array("q")
+        self._steps = array("q")
+        self._actions: list[Any] = []
+        self._action_ids: dict[Any, int] = {}
+        self._zdict: Optional[bytes] = None
+        self._len = 0
+        self._raw_bytes = 0
+        self._key_bytes = [0] * partitions
+        self._probes = [0] * partitions
+        self._memo_state: Any = None
+        self._memo_gid = -1
+
+    def _key_for(self, blob: bytes) -> bytes:
+        """The storage key of canonical encoding ``blob``.
+
+        The dictionary blob itself (and everything before a dictionary
+        exists) stays raw under a ``r`` tag; every other blob is raw
+        deflate against the dictionary under a ``z`` tag.  Both maps are
+        injective and the tags keep them disjoint, so key equality is
+        blob equality.
+        """
+        zd = self._zdict
+        if not self._compress or zd is None or blob == zd:
+            return b"r" + blob
+        co = zlib.compressobj(1, zlib.DEFLATED, -15, zdict=zd)
+        return b"z" + co.compress(blob) + co.flush()
+
+    def _locate(self, state: Hashable) -> tuple[int, bytes]:
+        blob = _encode(state)
+        fp = int.from_bytes(blake2b(blob, digest_size=8).digest(), "big")
+        return partition_index(fp, self.partitions), blob
+
+    def add(self, state: Hashable, parent: ParentEntry = None) -> bool:
+        p, blob = self._locate(state)
+        self._probes[p] += 1
+        if self._zdict is None and self._compress:
+            self._zdict = blob  # first state seeds the delta dictionary
+        key = self._key_for(blob)
+        ids = self._ids[p]
+        if key in ids:
+            return False
+        gid = self._len
+        ids[key] = gid
+        self._len += 1
+        self._raw_bytes += len(blob)
+        self._key_bytes[p] += len(key)
+        parent_gid = step = -1
+        if parent is not None:
+            parent_state, action = parent
+            parent_gid = self._gid_of(parent_state)
+            cached = self._action_ids.get(action)
+            if cached is None:
+                cached = len(self._actions)
+                self._action_ids[action] = cached
+                self._actions.append(action)
+            step = cached
+        self._parents.append(parent_gid)
+        self._steps.append(step)
+        self._memo_state = state
+        self._memo_gid = gid
+        return True
+
+    def _gid_of(self, state: Any) -> int:
+        # The explorer expands one source state at a time, so the parent
+        # of consecutive adds is almost always the same object — memoize
+        # by identity and pay the encode+compress lookup once per source.
+        if state is self._memo_state:
+            return self._memo_gid
+        p, blob = self._locate(state)
+        gid = self._ids[p].get(self._key_for(blob))
+        if gid is None:
+            raise KeyError("parent state is not in the store")
+        self._memo_state = state
+        self._memo_gid = gid
+        return gid
+
+    def probe(self, state: Hashable) -> tuple[bytes, bool]:
+        """(membership key, already present?) — no mutation; the
+        owner-computes driver's admission simulation."""
+        p, blob = self._locate(state)
+        key = self._key_for(blob)
+        return key, key in self._ids[p]
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __contains__(self, state: Hashable) -> bool:
+        p, blob = self._locate(state)
+        return self._key_for(blob) in self._ids[p]
+
+    def parent_of(self, state: Hashable) -> ParentEntry:
+        raise KeyError(
+            "delta-compressed exact stores keep canonical keys, not state "
+            "objects; rebuild traces with action_trace()")
+
+    def action_trace(self, state: Hashable) -> list[Any]:
+        """Actions from the initial state to ``state`` (shortest path).
+
+        The state sequence is *not* stored; callers replay the actions
+        through the live system (transitions are deterministic per
+        action label) to rebuild it.
+        """
+        p, blob = self._locate(state)
+        gid = self._ids[p].get(self._key_for(blob))
+        if gid is None:
+            raise KeyError("state is not in the store")
+        steps: list[Any] = []
+        while True:
+            parent_gid = self._parents[gid]
+            if parent_gid < 0:
+                break
+            steps.append(self._actions[self._steps[gid]])
+            gid = parent_gid
+        steps.reverse()
+        return steps
+
+    def approx_bytes(self) -> int:
+        total = sum(sys.getsizeof(ids) for ids in self._ids)
+        total += sum(self._key_bytes) + self._len * _BYTES_HEADER
+        total += (self._parents.itemsize * len(self._parents)
+                  + self._steps.itemsize * len(self._steps))
+        total += (sys.getsizeof(self._actions)
+                  + sys.getsizeof(self._action_ids))
+        return total
+
+    def spill_bytes(self) -> int:
+        return 0  # nothing spills: compressed keys stay resident
+
+    def compression_ratio(self) -> float:
+        """raw canonical bytes / stored key bytes (>= 1 when winning)."""
+        stored = sum(self._key_bytes)
+        return self._raw_bytes / stored if stored else 1.0
+
+    def partition_rows(self) -> list[dict[str, object]]:
+        """Per-partition statistics rows for ``repro.profile/4``."""
+        rows: list[dict[str, object]] = []
+        for p in range(self.partitions):
+            owned = len(self._ids[p])
+            probes = self._probes[p]
+            approx = (sys.getsizeof(self._ids[p]) + self._key_bytes[p]
+                      + owned * (_BYTES_HEADER + 16))
+            rows.append({
+                "partition": p,
+                "owned": owned,
+                "probes": probes,
+                "collisions": 0,
+                "approx_bytes": approx,
+                "spill_bytes": 0,
+                "spill_merges": 0,
+                "dedup_ratio": (round(1.0 - owned / probes, 4)
+                                if probes else 0.0),
+            })
+        return rows
+
+
+# ---------------------------------------------------------------------------
 # construction
 # ---------------------------------------------------------------------------
 
@@ -323,3 +781,32 @@ def make_store(spec: StoreSpec = "exact") -> StateStore:
         raise ValueError(f"unknown store {spec!r}; "
                          f"choose from {', '.join(STORE_NAMES)}")
     return spec
+
+
+def make_partitioned_store(
+    kind: str,
+    partitions: int,
+    *,
+    spill_dir: Optional[Union[str, Path]] = None,
+    spill_threshold: int = 1 << 20,
+    bits: int = 64,
+) -> StateStore:
+    """A partitioned store of the given kind (``exact``/``fingerprint``).
+
+    The in-process flavour of sharding: one store object, ``partitions``
+    internal ranges, usable with any driver via ``store=``.  The
+    multi-process flavour (one partition per worker process) is
+    :func:`repro.check.partitioned.explore_partitioned`.
+    """
+    if kind == "exact":
+        if spill_dir is not None:
+            raise ValueError(
+                "spill_dir applies to the fingerprint store; the "
+                "delta-compressed exact store keeps its keys resident")
+        return PartitionedExactStore(partitions)
+    if kind == "fingerprint":
+        return PartitionedFingerprintStore(
+            partitions, bits=bits, spill_dir=spill_dir,
+            spill_threshold=spill_threshold)
+    raise ValueError(f"unknown store {kind!r}; "
+                     f"choose from {', '.join(STORE_NAMES)}")

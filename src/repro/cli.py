@@ -164,12 +164,45 @@ def _reject_rendezvous_engine(args) -> None:
             "(use --level async, or drop --engine)")
 
 
+_SIZE_UNITS = {"": 1, "B": 1,
+               "K": 1 << 10, "KB": 1 << 10, "KIB": 1 << 10,
+               "M": 1 << 20, "MB": 1 << 20, "MIB": 1 << 20,
+               "G": 1 << 30, "GB": 1 << 30, "GIB": 1 << 30}
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a human byte size: ``64MiB``, ``512K``, ``2G``, ``4096``.
+
+    Units are binary (K = KiB = 1024) — this knob emulates the paper's
+    64 MB memory allotment, where nobody means decimal megabytes.
+    """
+    cleaned = text.strip().upper()
+    split = len(cleaned)
+    while split and not cleaned[split - 1].isdigit():
+        split -= 1
+    digits, unit = cleaned[:split], cleaned[split:].strip()
+    if not digits or unit not in _SIZE_UNITS:
+        raise SystemExit(
+            f"unparseable size {text!r}; use e.g. 64MiB, 512K, 2G, 4096")
+    return int(digits) * _SIZE_UNITS[unit]
+
+
 def cmd_check(args) -> int:
     from .check.observe import JsonProfileWriter, MultiObserver, ProgressRenderer
     from .check.parallel import SystemSpec, build_system, explore_parallel
+    from .check.partitioned import explore_partitioned
+    from .check.store import make_partitioned_store
 
     _reject_rendezvous_por(args)
     _reject_rendezvous_engine(args)
+    if args.spill_dir is not None and args.partitions is None:
+        raise SystemExit("--spill-dir needs --partitions (only partitioned "
+                         "stores have a disk tier)")
+    if args.spill_dir is not None and args.store != "fingerprint":
+        raise SystemExit("--spill-dir applies to --store fingerprint; the "
+                         "delta-compressed exact store keeps keys resident")
+    max_bytes = (parse_bytes(args.memory_limit)
+                 if args.memory_limit is not None else None)
 
     observers = []
     if args.levels:
@@ -188,15 +221,36 @@ def cmd_check(args) -> int:
                       config=config if args.level == "async" else (),
                       symmetry=args.symmetry, por=args.por,
                       engine=args.engine)
-    if args.parallel or args.workers is not None:
+    parallel = args.parallel or args.workers is not None
+    if args.partitions is not None and parallel:
+        # owner-computes: one worker process owns each partition
+        result = explore_partitioned(
+            spec, partitions=args.partitions, max_states=args.budget,
+            max_seconds=args.timeout, max_bytes=max_bytes,
+            store=args.store, spill_dir=args.spill_dir,
+            spill_threshold=args.spill_threshold, observer=observer)
+    elif args.partitions is not None:
+        # in-process sharding: one store, P fingerprint ranges
+        result = explore(
+            build_system(spec),
+            name=f"{args.protocol}-{args.level}-{args.nodes}",
+            max_states=args.budget, max_seconds=args.timeout,
+            max_bytes=max_bytes,
+            store=make_partitioned_store(
+                args.store, args.partitions, spill_dir=args.spill_dir,
+                spill_threshold=args.spill_threshold),
+            observer=observer, reductions=spec.reductions())
+    elif parallel:
         result = explore_parallel(spec, workers=args.workers,
                                   max_states=args.budget,
                                   max_seconds=args.timeout,
+                                  max_bytes=max_bytes,
                                   store=args.store, observer=observer)
     else:
         result = explore(build_system(spec),
                          name=f"{args.protocol}-{args.level}-{args.nodes}",
                          max_states=args.budget, max_seconds=args.timeout,
+                         max_bytes=max_bytes,
                          store=args.store, observer=observer,
                          reductions=spec.reductions())
     print(result.describe())
@@ -514,8 +568,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "fingerprint (SPIN-style hash compaction)")
     p.add_argument("--profile", metavar="PATH", default=None,
                    help="write a per-level JSON run profile "
-                        "(schema repro.profile/3; records active "
-                        "reductions and per-level reduction ratios)")
+                        "(schema repro.profile/4; records active "
+                        "reductions, reduction ratios, and per-partition "
+                        "rows)")
     p.add_argument("--levels", action="store_true",
                    help="print one progress line per BFS level")
     p.add_argument("--parallel", action="store_true",
@@ -523,6 +578,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="worker process count (implies --parallel; "
                         "default: cpu count - 1)")
+    p.add_argument("--partitions", type=int, default=None, metavar="P",
+                   help="shard the visited set into P fingerprint-range "
+                        "partitions; with --parallel, each partition is "
+                        "OWNED by a dedicated worker process "
+                        "(owner-computes), otherwise one in-process "
+                        "partitioned store (counts are byte-identical to "
+                        "the unsharded drivers either way)")
+    p.add_argument("--spill-dir", metavar="DIR", default=None,
+                   help="spill cold partitions to mmap-backed sorted "
+                        "fingerprint files under DIR (fingerprint store "
+                        "+ --partitions only)")
+    p.add_argument("--spill-threshold", type=int, default=1 << 20,
+                   metavar="N",
+                   help="hot-tier entries per partition before a merge "
+                        "to the spill file (default: %(default)s)")
+    p.add_argument("--memory-limit", metavar="SIZE", default=None,
+                   help="end the run as a well-formed Unfinished result "
+                        "when the visited store's footprint estimate "
+                        "crosses SIZE (e.g. 64MiB, 512K, 2G) — the "
+                        "paper's memory allotment without the OOM kill")
     p.add_argument("--symmetry", action="store_true",
                    help="explore one representative per remote-permutation "
                         "orbit")

@@ -1,0 +1,76 @@
+"""Property: partition routing is a pure function of the state.
+
+Owner-computes correctness rests on every process agreeing on which
+partition owns a state: the fingerprint is a salted blake2b over the
+canonical encoding (no ``PYTHONHASHSEED`` dependence), and the router
+is an arithmetic range split.  A single disagreement between a fork
+child, a spawn child, and the parent would silently drop or duplicate
+states, so we check the assignment byte-for-byte across start methods.
+"""
+
+import multiprocessing as mp
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.store import fingerprint, partition_index, partition_of
+
+fingerprints = st.integers(min_value=0, max_value=2**64 - 1)
+partition_counts = st.integers(min_value=1, max_value=256)
+
+
+@given(fp=fingerprints, partitions=partition_counts)
+def test_index_always_in_range(fp, partitions):
+    assert 0 <= partition_index(fp, partitions) < partitions
+
+
+@given(fps=st.lists(fingerprints, min_size=2, max_size=16),
+       partitions=partition_counts)
+def test_ranges_contiguous(fps, partitions):
+    # sorting by fingerprint must sort by partition: contiguous ranges
+    indices = [partition_index(fp, partitions) for fp in sorted(fps)]
+    assert indices == sorted(indices)
+
+
+@given(partitions=st.integers(min_value=1, max_value=64))
+def test_full_range_covered(partitions):
+    # the first and last fingerprints land on the first and last
+    # partition, so no partition's range is empty at the extremes
+    assert partition_index(0, partitions) == 0
+    assert partition_index(2**64 - 1, partitions) == partitions - 1
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32),
+       partitions=st.integers(min_value=1, max_value=16))
+@settings(max_examples=25, deadline=None)
+def test_assignment_stable_within_process(seed, partitions):
+    state = ("state", seed, frozenset({seed % 7, "flag"}))
+    assert partition_of(state, partitions) == \
+        partition_index(fingerprint(state), partitions)
+    assert partition_of(state, partitions) == partition_of(state, partitions)
+
+
+def _child_assignments(states, partitions, out):
+    out.extend([partition_of(state, partitions) for state in states])
+
+
+def test_assignment_stable_across_processes_and_start_methods():
+    """fork and spawn children must route exactly like the parent.
+
+    spawn re-imports everything in a fresh interpreter (fresh hash
+    randomization, fresh module state), so this fails loudly if routing
+    ever picks up an ambient dependence.
+    """
+    states = [("state", i, frozenset({i % 5})) for i in range(64)]
+    partitions = 7
+    parent = [partition_of(state, partitions) for state in states]
+    for method in ("fork", "spawn"):
+        ctx = mp.get_context(method)
+        with ctx.Manager() as manager:
+            out = manager.list()
+            proc = ctx.Process(target=_child_assignments,
+                               args=(states, partitions, out))
+            proc.start()
+            proc.join(60)
+            assert proc.exitcode == 0
+            assert list(out) == parent, f"{method} child disagrees"

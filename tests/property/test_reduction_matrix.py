@@ -5,10 +5,10 @@ between the sequential and parallel drivers on unreduced systems.  The
 reductions and the compiled step engine must not break that contract:
 for every cell of
 
-    {interpreted, compiled} x {sequential, parallel}
+    {interpreted, compiled} x {sequential, parallel, partitioned}
         x {exact, fingerprint} x {symmetry off, on} x {por off, on}
 
-the eight engine/driver/store variants of the *same* reduction
+the twelve engine/driver/store variants of the *same* reduction
 combination must report identical ``n_states``/``n_transitions``/
 ``deadlock_count``/``stop_reason`` — including runs truncated mid-level
 by a state budget, where a single out-of-order expansion (or a single
@@ -24,6 +24,7 @@ from hypothesis import strategies as st
 
 from repro.check.explorer import explore
 from repro.check.parallel import SystemSpec, build_system, explore_parallel
+from repro.check.partitioned import explore_partitioned
 
 PROTOCOLS = [("migratory", 2), ("invalidate", 2)]
 REDUCTIONS = [(False, False), (False, True), (True, False), (True, True)]
@@ -40,7 +41,9 @@ def counts(result):
 
 
 def variants(spec, **budgets):
-    """The eight engine/driver/store runs of one reduction combination."""
+    """The twelve engine/driver/store runs of one reduction combination:
+    {sequential, work-stealing parallel, owner-computes partitioned}
+    x {exact, fingerprint} x {interpreted, compiled}."""
     runs = {}
     for engine in ENGINES:
         espec = replace(spec, engine=engine)
@@ -55,6 +58,10 @@ def variants(spec, **budgets):
         runs[f"{engine}-par-fingerprint"] = explore_parallel(
             espec, workers=2, fanout_threshold=4, chunk_size=16,
             store="fingerprint", **budgets)
+        runs[f"{engine}-part-exact"] = explore_partitioned(
+            espec, partitions=2, **budgets)
+        runs[f"{engine}-part-fingerprint"] = explore_partitioned(
+            espec, partitions=2, store="fingerprint", **budgets)
     return runs
 
 

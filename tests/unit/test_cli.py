@@ -137,7 +137,7 @@ class TestCheckCommand:
                      "--profile", str(path)]) == 0
         assert f"profile written to {path}" in capsys.readouterr().out
         doc = json.loads(path.read_text())
-        assert doc["schema"] == "repro.profile/3"
+        assert doc["schema"] == "repro.profile/4"
         assert doc["result"]["completed"] is True
         assert sum(lvl["new_states"] for lvl in doc["levels"]) + 1 \
             == doc["result"]["n_states"]

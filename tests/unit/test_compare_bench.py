@@ -353,3 +353,93 @@ class TestCompareParam:
         for row in doc["protocols"]:
             assert row["agreement"], row["protocol"]
             assert row["discharged"], row["protocol"]
+
+
+def make_profile_doc():
+    level = {"level": 1, "frontier": 1, "expanded": 1, "candidates": 6,
+             "new_states": 4, "n_states": 5, "n_transitions": 6,
+             "deadlocks": 0, "collisions": 0, "enabled": 6,
+             "approx_bytes": 1000, "spill_bytes": 0, "seconds": 0.1,
+             "dedup_ratio": 0.33, "states_per_sec": 50.0,
+             "reduction_ratio": 0.0}
+    return {
+        "schema": "repro.profile/4",
+        "run": {"name": "m", "store": "fingerprint", "workers": 1,
+                "max_states": None, "max_seconds": None, "max_bytes": None,
+                "reductions": [], "engine": "interpreted", "partitions": 1},
+        "levels": [level],
+        "partitions": [],
+        "result": {"system": "m", "store": "fingerprint", "n_states": 5,
+                   "n_transitions": 6, "n_enabled": 6, "reductions": [],
+                   "deadlocks": 0, "fingerprint_collisions": 0,
+                   "seconds": 0.2, "completed": True, "stop_reason": None,
+                   "approx_bytes": 1000, "spill_bytes": 0,
+                   "approx_bytes_detail": None},
+    }
+
+
+class TestCompareProfiles:
+    """The cross-driver gate: a partitioned profile must carry exactly
+    the sequential profile's counts, level by level."""
+
+    def test_identical_passes(self):
+        doc = make_profile_doc()
+        errors, notes = compare_bench.compare(doc, copy.deepcopy(doc))
+        assert errors == [] and notes == []
+
+    def test_one_state_off_fails(self):
+        # no 25% tolerance here: a single extra state is a driver bug
+        base, cand = make_profile_doc(), make_profile_doc()
+        cand["result"]["n_states"] += 1
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("result.n_states" in e for e in errors)
+
+    def test_per_level_count_mismatch_fails(self):
+        base, cand = make_profile_doc(), make_profile_doc()
+        cand["levels"][0]["new_states"] += 1
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("new_states" in e for e in errors)
+
+    def test_depth_mismatch_fails(self):
+        base, cand = make_profile_doc(), make_profile_doc()
+        cand["levels"].append(dict(cand["levels"][0], level=2))
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("BFS depth" in e for e in errors)
+
+    def test_stop_reason_mismatch_fails(self):
+        base, cand = make_profile_doc(), make_profile_doc()
+        cand["result"]["completed"] = False
+        cand["result"]["stop_reason"] = "state budget 5 exceeded"
+        errors, _ = compare_bench.compare(base, cand)
+        assert any("completed" in e for e in errors)
+        assert any("stop_reason" in e for e in errors)
+
+    def test_layout_and_timing_are_informational(self):
+        base, cand = make_profile_doc(), make_profile_doc()
+        cand["run"].update(workers=4, partitions=4)
+        cand["levels"][0].update(seconds=9.0, approx_bytes=5,
+                                 spill_bytes=4096)
+        cand["result"].update(seconds=9.5, approx_bytes=5,
+                              spill_bytes=4096)
+        cand["partitions"] = [{"partition": 0, "owned": 5}]
+        errors, notes = compare_bench.compare(base, cand)
+        assert errors == []
+        assert notes  # layout drift reported, never fatal
+
+    def test_schema_versions_may_differ_between_profiles(self):
+        # a /3 sequential baseline still gates a /4 partitioned run
+        base, cand = make_profile_doc(), make_profile_doc()
+        base["schema"] = "repro.profile/3"
+        errors, _ = compare_bench.compare(base, cand)
+        assert errors == []
+
+    def test_profile_vs_bench_doc_fails_fast(self):
+        errors, _ = compare_bench.compare(make_profile_doc(), make_doc())
+        assert len(errors) == 1 and "schema" in errors[0]
+
+    def test_cli_accepts_profiles(self, tmp_path):
+        doc = make_profile_doc()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(doc))
+        b.write_text(json.dumps(doc))
+        assert compare_bench.main([str(a), str(b)]) == 0

@@ -137,3 +137,228 @@ class TestCanonicalEncoding:
                           remotes=(ProcState("r", Env()),))
                   for i in range(100)]
         assert len({fingerprint(s) for s in states}) == 100
+
+
+# ---------------------------------------------------------------------------
+# partitioned stores (distributed-SPIN ownership)
+# ---------------------------------------------------------------------------
+
+from repro.check.store import (  # noqa: E402
+    PartitionedExactStore,
+    PartitionedFingerprintStore,
+    make_partitioned_store,
+    partition_index,
+    partition_of,
+)
+
+
+class TestPartitionRouter:
+    def test_index_in_range(self):
+        for partitions in (1, 2, 3, 7, 64):
+            for fp in (0, 1, 2**32, 2**63, 2**64 - 1):
+                assert 0 <= partition_index(fp, partitions) < partitions
+
+    def test_ranges_are_contiguous_and_monotone(self):
+        # owner-computes relies on each partition owning one contiguous
+        # fingerprint range: the index never decreases as fp grows
+        fps = sorted([0, 17, 2**16, 2**40, 2**63, 2**63 + 1, 2**64 - 1])
+        idx = [partition_index(fp, 5) for fp in fps]
+        assert idx == sorted(idx)
+
+    def test_single_partition_owns_everything(self):
+        assert partition_index(0, 1) == 0
+        assert partition_index(2**64 - 1, 1) == 0
+
+    def test_partition_of_matches_fingerprint_route(self):
+        assert partition_of("state", 4) == \
+            partition_index(fingerprint("state"), 4)
+
+    def test_spread_is_roughly_uniform(self):
+        counts = [0] * 4
+        for i in range(4000):
+            counts[partition_of(("s", i), 4)] += 1
+        assert min(counts) > 500  # blake2b can't be this lopsided
+
+
+class TestPartitionedFingerprintStore:
+    def test_membership_matches_unsharded_store(self):
+        plain = FingerprintStore()
+        sharded = PartitionedFingerprintStore(3)
+        states = [("state", i % 700) for i in range(2000)]
+        for state in states:
+            assert plain.add(state) == sharded.add(state)
+        assert len(plain) == len(sharded) == 700
+        assert sharded.collisions == plain.collisions == 0
+
+    def test_membership_matches_with_spill(self, tmp_path):
+        plain = FingerprintStore()
+        sharded = PartitionedFingerprintStore(
+            3, spill_dir=tmp_path, spill_threshold=16)
+        states = [("state", i % 700) for i in range(2000)]
+        for state in states:
+            assert plain.add(state) == sharded.add(state)
+        assert len(sharded) == 700
+        assert sharded.spill_bytes() > 0
+        assert sum(r["spill_merges"] for r in sharded.partition_rows()) > 0
+        sharded.close()
+
+    def test_truncated_bits_detect_collisions(self):
+        store = PartitionedFingerprintStore(4, bits=8)
+        for i in range(1000):
+            store.add(("state", i))
+        # bits only truncates the *stored* key; routing uses the full
+        # fingerprint, so all four partitions still get traffic
+        rows = store.partition_rows()
+        assert all(r["probes"] > 0 for r in rows)
+        assert store.collisions >= 1
+        assert store.collisions == sum(r["collisions"] for r in rows)
+
+    def test_probe_predicts_add_without_mutation(self):
+        store = PartitionedFingerprintStore(2)
+        key, present = store.probe("s")
+        assert not present
+        assert len(store) == 0  # probe never admits
+        store.add("s")
+        key2, present2 = store.probe("s")
+        assert present2 and key2 == key
+        assert store.partition_rows()[partition_of("s", 2)]["probes"] == 1
+
+    def test_rows_partition_owned_sums_to_len(self, tmp_path):
+        store = PartitionedFingerprintStore(
+            4, spill_dir=tmp_path, spill_threshold=8)
+        for i in range(300):
+            store.add(("state", i))
+        rows = store.partition_rows()
+        assert sum(r["owned"] for r in rows) == len(store) == 300
+        store.close()
+
+    def test_approx_bytes_excludes_spill(self, tmp_path):
+        resident = PartitionedFingerprintStore(1)
+        spilling = PartitionedFingerprintStore(
+            1, spill_dir=tmp_path, spill_threshold=8)
+        for i in range(500):
+            resident.add(("state", i))
+            spilling.add(("state", i))
+        # nearly everything moved to disk, so the resident estimate of
+        # the spilling store must be dominated by the bit filter, not
+        # 500 hot entries
+        hot_part = spilling.approx_bytes() - 2 * 1024 * 1024
+        assert hot_part < resident.approx_bytes()
+        assert spilling.spill_bytes() > 0
+        spilling.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="partitions"):
+            PartitionedFingerprintStore(0)
+        with pytest.raises(ValueError, match="bits"):
+            PartitionedFingerprintStore(2, bits=65)
+        with pytest.raises(ValueError, match="threshold"):
+            PartitionedFingerprintStore(2, spill_threshold=0)
+
+    def test_no_parent_pointers(self):
+        store = PartitionedFingerprintStore(2)
+        store.add("s")
+        with pytest.raises(KeyError):
+            store.parent_of("s")
+
+
+class TestPartitionedExactStore:
+    def test_membership_matches_classic_exact(self):
+        classic, delta = ExactStore(), PartitionedExactStore(2)
+        states = [("state", "x" * 40, i % 300) for i in range(900)]
+        prev = None
+        for state in states:
+            parent = None if prev is None else (prev, ("act", state[2]))
+            assert classic.add(state, parent) == delta.add(state, parent)
+            prev = state
+        assert len(classic) == len(delta) == 300
+        assert delta.collisions == 0
+
+    def test_action_trace_replays_parent_chain(self):
+        store = PartitionedExactStore(1)
+        store.add("root", None)
+        store.add("a", ("root", "step1"))
+        store.add("b", ("a", "step2"))
+        assert store.supports_traces
+        assert store.action_trace("root") == []
+        assert store.action_trace("b") == ["step1", "step2"]
+
+    def test_compression_shrinks_similar_states(self):
+        # reachable states are small deltas of the initial state; the
+        # zdict-deflate keys must exploit that
+        compressed = PartitionedExactStore(1, compress=True)
+        raw = PartitionedExactStore(1, compress=False)
+        base = tuple(("component", "idle", i) for i in range(30))
+        for i in range(200):
+            state = base[:15] + (("component", "busy", i),) + base[16:]
+            compressed.add(state)
+            raw.add(state)
+        assert len(compressed) == len(raw) == 200
+        # ratio is raw canonical bytes / stored key bytes (>= 1 = winning)
+        assert compressed.compression_ratio() > 2.0
+        assert compressed.approx_bytes() < raw.approx_bytes()
+
+    def test_approx_bytes_far_below_classic_exact(self):
+        class Obj:
+            def __init__(self, i):
+                self.payload = ("p" * 60, i % 400)
+
+            def __eq__(self, other):
+                return self.payload == other.payload
+
+            def __hash__(self):
+                return hash(self.payload)
+
+        classic, delta = ExactStore(), PartitionedExactStore(1)
+        for i in range(1200):
+            classic.add(Obj(i))
+            delta.add(Obj(i))
+        # classic keeps the state objects + their memo caches alive;
+        # the delta store keeps 16 bytes + a compressed blob per state
+        assert delta.approx_bytes() < classic.approx_bytes()
+
+    def test_probe_predicts_add(self):
+        store = PartitionedExactStore(1)
+        _key, present = store.probe("s")
+        assert not present and len(store) == 0
+        store.add("s")
+        assert store.probe("s") == (_key, True)
+
+
+class TestMakePartitionedStore:
+    def test_kinds(self):
+        assert isinstance(make_partitioned_store("exact", 2),
+                          PartitionedExactStore)
+        fp = make_partitioned_store("fingerprint", 3)
+        assert isinstance(fp, PartitionedFingerprintStore)
+        assert fp.partitions == 3
+
+    def test_exact_rejects_spill(self, tmp_path):
+        with pytest.raises(ValueError, match="spill"):
+            make_partitioned_store("exact", 2, spill_dir=tmp_path)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown store"):
+            make_partitioned_store("bloom", 2)
+
+
+class TestExactStoreCacheMetering:
+    def test_state_caches_metered_for_real_states(self):
+        # the encoding layer pins _blob_cache/_key_cache/_hash_cache on
+        # state __dict__s; approx_bytes must charge for them (they were
+        # the 2-3x undercount before the detail split existed)
+        store = ExactStore()
+        states = [ProcState("s", Env({"o": i})) for i in range(50)]
+        for state in states:
+            fingerprint(state)  # populate the memo caches
+            store.add(state)
+        detail = store.approx_bytes_detail()
+        assert detail["state_caches"] > 0
+        assert store.approx_bytes() == \
+            detail["entries"] + detail["state_caches"]
+
+    def test_plain_tuples_have_no_cache_cost(self):
+        store = ExactStore()
+        for i in range(50):
+            store.add(("s", i))
+        assert store.approx_bytes_detail()["state_caches"] == 0
